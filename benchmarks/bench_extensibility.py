@@ -1,0 +1,40 @@
+"""§5.2 extensibility: architecture-description size vs baseline mapper code.
+
+The paper's argument: adding an architecture to Lakeroad takes a 20–240 line
+YAML description, while pattern-matching flows need thousands of lines of
+special-case code.  This benchmark regenerates the description-size table
+(ours next to the paper's) and times loading + sketch specialisation for
+every architecture, which is the whole per-architecture cost in this system.
+"""
+
+import pytest
+
+from repro.arch import available_architectures, load_architecture
+from repro.core.sketch_gen import DesignInterface, generate_sketch
+from repro.harness.experiments import extensibility
+from repro.vendor.library import PrimitiveLibrary
+
+
+@pytest.mark.benchmark(group="extensibility")
+def test_architecture_description_sizes(benchmark):
+    rows = benchmark(extensibility)
+    print("\narchitecture description sizes (ours vs paper):")
+    for row in rows:
+        print(f"  {row['architecture']:26s} {row['description_sloc']:4d} SLoC "
+              f"(paper: {row['paper_description_sloc']})")
+    by_name = {row["architecture"]: row for row in rows}
+    # SOFA is the smallest description, as in the paper.
+    assert by_name["sofa"]["description_sloc"] == min(r["description_sloc"] for r in rows)
+
+
+@pytest.mark.benchmark(group="extensibility")
+@pytest.mark.parametrize("arch_name", ["xilinx-ultrascale-plus", "lattice-ecp5",
+                                        "intel-cyclone10lp", "sofa"])
+def test_sketch_specialisation_cost(benchmark, arch_name):
+    library = PrimitiveLibrary()
+    arch = load_architecture(arch_name)
+    template = "dsp" if arch.implements("DSP") else "bitwise"
+    design = DesignInterface({"a": 8, "b": 8}, 8)
+
+    sketch = benchmark(generate_sketch, template, arch, design, library)
+    assert sketch.hole_count() > 0

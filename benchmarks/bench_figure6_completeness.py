@@ -1,0 +1,56 @@
+"""Figure 6 (top): completeness of technology mapping per tool per architecture.
+
+Regenerates the bar chart's underlying numbers: for each architecture, the
+fraction of microbenchmarks each tool maps to a single DSP, Lakeroad's
+success/UNSAT/timeout split, and the Lakeroad-vs-SOTA / Lakeroad-vs-Yosys
+ratios printed next to the paper's reported 2.1×/44× (Xilinx), 3.6×/6×
+(Lattice) and 3×/∞ (Intel).
+"""
+
+import pytest
+
+from repro.harness.experiments import figure6_completeness, render_completeness_table
+
+
+@pytest.mark.benchmark(group="figure6-completeness")
+def test_figure6_completeness_lattice(benchmark, experiment_config, lattice_benchmarks):
+    def run():
+        return figure6_completeness({"lattice-ecp5": lattice_benchmarks}, experiment_config)
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    summary = results["lattice-ecp5"]
+    print("\n" + render_completeness_table(results))
+    lakeroad = summary["tools"]["lakeroad"]["mapped"]
+    yosys = summary["tools"]["yosys"]["mapped"]
+    sota = summary["tools"]["sota"]["mapped"]
+    # Shape check: Lakeroad maps at least as many designs as either baseline.
+    assert lakeroad >= sota >= 0
+    assert lakeroad >= yosys
+
+
+@pytest.mark.benchmark(group="figure6-completeness")
+def test_figure6_completeness_intel(benchmark, experiment_config, intel_benchmarks):
+    def run():
+        return figure6_completeness({"intel-cyclone10lp": intel_benchmarks}, experiment_config)
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    summary = results["intel-cyclone10lp"]
+    print("\n" + render_completeness_table(results))
+    # Paper: Lakeroad maps all Intel designs; Yosys maps none.
+    assert summary["tools"]["lakeroad"]["mapped"] == summary["total"]
+    assert summary["tools"]["yosys"]["mapped"] == 0
+
+
+@pytest.mark.benchmark(group="figure6-completeness")
+def test_figure6_completeness_xilinx(benchmark, experiment_config, xilinx_benchmarks):
+    def run():
+        return figure6_completeness({"xilinx-ultrascale-plus": xilinx_benchmarks},
+                                    experiment_config)
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    summary = results["xilinx-ultrascale-plus"]
+    print("\n" + render_completeness_table(results))
+    lakeroad = summary["tools"]["lakeroad"]
+    # Lakeroad either maps a design, proves it unmappable, or times out —
+    # it never silently produces a multi-DSP fallback.
+    assert lakeroad["mapped"] + lakeroad["unsat"] + lakeroad["timeout"] == summary["total"]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's running example (Figure 1 / Section 2): ``add_mul_and``.
+
+A hardware designer wants ``(a + b) * c & d`` (two pipeline stages) to map
+onto a *single* Xilinx UltraScale+ DSP48E2.  State-of-the-art tools fail and
+spill logic into LUTs and registers; Lakeroad configures the DSP's
+pre-adder, multiplier, logic unit and pipeline registers automatically and
+proves the result equivalent.
+
+This example runs both the simulated proprietary baseline and Lakeroad on
+the same module and prints the resource comparison the paper's Section 2
+narrates (1 DSP vs 1 DSP + LUTs + registers).
+
+Run:  python examples/add_mul_and.py          (takes a few minutes: it runs
+                                               real synthesis queries)
+      python examples/add_mul_and.py --fast   (8-bit version, quicker)
+"""
+
+import argparse
+
+from repro import map_verilog
+from repro.baselines import SotaXilinxMapper, YosysLikeMapper
+from repro.hdl.behavioral import verilog_to_behavioral
+
+DESIGN_TEMPLATE = """
+// add_mul_and.v: computes (a+b)*c&d in two clock cycles.
+module add_mul_and(input clk, input [{msb}:0] a, b, c, d,
+                   output reg [{msb}:0] out);
+  reg [{msb}:0] r;
+  always @(posedge clk) begin
+    r <= (a+b)*c&d;
+    out <= r;
+  end
+endmodule
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true", help="use 8-bit operands")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    width = 8 if args.fast else 16
+    source = DESIGN_TEMPLATE.format(msb=width - 1)
+    design = verilog_to_behavioral(source)
+
+    print("=== baselines (pattern-matching DSP inference) ===")
+    for mapper in (SotaXilinxMapper(), YosysLikeMapper()):
+        result = mapper.map(design, "xilinx-ultrascale-plus")
+        verdict = "single DSP" if result.mapped_to_single_dsp else "FAILED (spills to fabric)"
+        print(f"{mapper.name:12s}: {verdict:28s} resources={result.resources}")
+
+    print("\n=== Lakeroad (sketch-guided program synthesis) ===")
+    result = map_verilog(source, template="dsp", arch="xilinx-ultrascale-plus",
+                         timeout_seconds=args.timeout)
+    print(f"status={result.status}  time={result.time_seconds:.1f}s  "
+          f"validated={result.validated}")
+    print(f"resources: {result.resources}")
+    print("\nDSP48E2 configuration found by the solver:")
+    for name, value in sorted(result.hole_values.items()):
+        print(f"  {name:32s} = {value}")
+    print("\nstructural Verilog:\n")
+    print(result.verilog)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Partial design mapping across architectures (paper sections 2 and 5).
+
+A designer has several small fragments separated out of a larger design and
+wants each one mapped onto a single DSP of the target FPGA.  This example
+walks a handful of representative microbenchmark fragments — the same
+families the paper enumerates — across the three DSP-bearing architectures
+and prints, for each, what Lakeroad and the baselines do with it:
+mapped to one DSP, proven unmappable (UNSAT), or spilled onto the fabric.
+
+Run:  python examples/partial_design_mapping.py            (a few minutes)
+      python examples/partial_design_mapping.py --quick    (Intel+Lattice only)
+"""
+
+import argparse
+
+from repro.baselines import YosysLikeMapper, sota_for
+from repro.hdl.behavioral import verilog_to_behavioral
+from repro.lakeroad import map_design
+from repro.workloads import sample_workloads
+
+TIMEOUTS = {"xilinx-ultrascale-plus": 120.0, "lattice-ecp5": 30.0, "intel-cyclone10lp": 15.0}
+
+
+def run_architecture(architecture: str, count: int) -> None:
+    print(f"\n=== {architecture} ===")
+    yosys = YosysLikeMapper()
+    sota = sota_for(architecture)
+    for benchmark in sample_workloads(architecture, count, max_width=8):
+        design = verilog_to_behavioral(benchmark.verilog)
+        lakeroad = map_design(design, arch=architecture, validate=False,
+                              timeout_seconds=TIMEOUTS[architecture])
+        sota_result = sota.map(design, architecture, is_signed=benchmark.signed)
+        yosys_result = yosys.map(design, architecture, is_signed=benchmark.signed)
+
+        def verdict(mapped: bool) -> str:
+            return "1 DSP" if mapped else "fabric"
+
+        print(f"{benchmark.name:28s} lakeroad={lakeroad.status:8s} "
+              f"({lakeroad.time_seconds:5.1f}s)  "
+              f"sota={verdict(sota_result.mapped_to_single_dsp):6s}  "
+              f"yosys={verdict(yosys_result.mapped_to_single_dsp):6s}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the (slow) Xilinx fragment")
+    parser.add_argument("--count", type=int, default=4,
+                        help="fragments per architecture (default 4)")
+    args = parser.parse_args()
+
+    run_architecture("intel-cyclone10lp", args.count)
+    run_architecture("lattice-ecp5", args.count)
+    if not args.quick:
+        run_architecture("xilinx-ultrascale-plus", max(2, args.count // 2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Architecture descriptions (Section 4.2) and their loader.
+
+An architecture description is a short YAML file listing, for each primitive
+interface the architecture implements, the vendor module to instantiate, how
+the interface's inputs map onto the module's ports, and which ports are
+``internal_data`` — architecture-specific configuration that becomes
+solver-visible holes.  Descriptions for Xilinx UltraScale+, Lattice ECP5,
+Intel Cyclone 10 LP and SOFA are shipped in ``descriptions/``.
+"""
+
+from repro.arch.loader import (
+    ArchDescription,
+    InterfaceImplementation,
+    available_architectures,
+    load_architecture,
+)
+
+__all__ = [
+    "ArchDescription",
+    "InterfaceImplementation",
+    "available_architectures",
+    "load_architecture",
+]

@@ -1,0 +1,200 @@
+"""A minimal YAML-subset parser for architecture descriptions.
+
+PyYAML is not available in the reproduction environment, so this module
+implements the subset the architecture descriptions need: nested mappings
+and lists by indentation, inline ``{key: value, ...}`` mappings and
+``[a, b]`` lists, integers, booleans, and plain / quoted strings.  It is
+deliberately small but fully tested; it is *not* a general YAML parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["YamlError", "loads"]
+
+
+class YamlError(ValueError):
+    """Raised on malformed input."""
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    if not text:
+        return None
+    if text.startswith("{"):
+        return _parse_inline_map(text)
+    if text.startswith("["):
+        return _parse_inline_list(text)
+    if (text.startswith('"') and text.endswith('"')) or \
+            (text.startswith("'") and text.endswith("'")):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~"):
+        return None
+    try:
+        if text.startswith("0x") or text.startswith("0X"):
+            return int(text, 16)
+        if text.startswith("0b") or text.startswith("0B"):
+            return int(text, 2)
+        return int(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_inline(body: str) -> List[str]:
+    """Split an inline collection body on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in body:
+        if char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current and "".join(current).strip():
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_inline_map(text: str) -> dict:
+    if not (text.startswith("{") and text.endswith("}")):
+        raise YamlError(f"malformed inline mapping: {text!r}")
+    body = text[1:-1].strip()
+    result = {}
+    if not body:
+        return result
+    for part in _split_inline(body):
+        if ":" not in part:
+            raise YamlError(f"malformed inline mapping entry: {part!r}")
+        key, _, value = part.partition(":")
+        result[key.strip()] = _parse_scalar(value)
+    return result
+
+
+def _parse_inline_list(text: str) -> list:
+    if not (text.startswith("[") and text.endswith("]")):
+        raise YamlError(f"malformed inline list: {text!r}")
+    body = text[1:-1].strip()
+    if not body:
+        return []
+    return [_parse_scalar(part) for part in _split_inline(body)]
+
+
+def _strip_comment(line: str) -> str:
+    result = []
+    in_single = in_double = False
+    for char in line:
+        if char == "'" and not in_double:
+            in_single = not in_single
+        elif char == '"' and not in_single:
+            in_double = not in_double
+        elif char == "#" and not in_single and not in_double:
+            break
+        result.append(char)
+    return "".join(result)
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    lines: List[Tuple[int, str]] = []
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).rstrip()
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        lines.append((indent, line.strip()))
+    return lines
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document."""
+    lines = _logical_lines(text)
+    value, consumed = _parse_block(lines, 0, indent=None)
+    if consumed != len(lines):
+        indent, content = lines[consumed]
+        raise YamlError(f"unexpected content at indent {indent}: {content!r}")
+    return value
+
+
+def _parse_block(lines: List[Tuple[int, str]], start: int, indent) -> Tuple[Any, int]:
+    if start >= len(lines):
+        return None, start
+    block_indent = lines[start][0] if indent is None else indent
+    first_content = lines[start][1]
+    if first_content.startswith("- "):
+        return _parse_list_block(lines, start, block_indent)
+    return _parse_map_block(lines, start, block_indent)
+
+
+def _parse_list_block(lines, start: int, indent: int) -> Tuple[list, int]:
+    items = []
+    index = start
+    while index < len(lines):
+        line_indent, content = lines[index]
+        if line_indent < indent or not content.startswith("- "):
+            if line_indent >= indent and not content.startswith("- "):
+                break
+            if line_indent < indent:
+                break
+        if line_indent != indent:
+            raise YamlError(f"inconsistent list indentation near {content!r}")
+        item_text = content[2:].strip()
+        index += 1
+        if not item_text:
+            value, index = _parse_block(lines, index, None)
+            items.append(value)
+        elif ":" in item_text and not item_text.startswith(("{", "[", '"', "'")):
+            # The list item starts a mapping whose first entry is inline.
+            key, _, rest = item_text.partition(":")
+            mapping = {}
+            rest = rest.strip()
+            if rest:
+                mapping[key.strip()] = _parse_scalar(rest)
+            else:
+                value, index = _parse_block(lines, index, None)
+                mapping[key.strip()] = value
+            # Continuation entries of the same mapping are indented deeper.
+            while index < len(lines) and lines[index][0] > indent and \
+                    not lines[index][1].startswith("- "):
+                sub_value, index = _parse_map_block(lines, index, lines[index][0])
+                mapping.update(sub_value)
+            items.append(mapping)
+        else:
+            items.append(_parse_scalar(item_text))
+    return items, index
+
+
+def _parse_map_block(lines, start: int, indent: int) -> Tuple[dict, int]:
+    mapping = {}
+    index = start
+    while index < len(lines):
+        line_indent, content = lines[index]
+        if line_indent < indent or content.startswith("- "):
+            break
+        if line_indent != indent:
+            raise YamlError(f"inconsistent mapping indentation near {content!r}")
+        if ":" not in content:
+            raise YamlError(f"expected 'key: value', got {content!r}")
+        key, _, rest = content.partition(":")
+        key = key.strip()
+        rest = rest.strip()
+        index += 1
+        if rest:
+            mapping[key] = _parse_scalar(rest)
+        else:
+            if index < len(lines) and lines[index][0] > indent:
+                value, index = _parse_block(lines, index, None)
+                mapping[key] = value
+            else:
+                mapping[key] = None
+    return mapping, index

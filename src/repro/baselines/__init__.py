@@ -1,0 +1,30 @@
+"""Baseline technology mappers used as comparison points (Section 5.1).
+
+The paper compares Lakeroad against the open-source Yosys flow and against
+the proprietary, state-of-the-art vendor toolchains (which cannot be named
+or redistributed).  This reproduction implements both comparison points as
+hand-written, pattern-matching DSP-inference mappers with deliberately
+limited coverage, mirroring the qualitative failure modes the paper
+documents: syntactic multiply detection, limited handling of the pre-adder
+and of the post-multiplier logic unit, and limited pipeline-depth support.
+Whatever a baseline cannot push into the DSP is implemented on the fabric
+with an ABC-style LUT mapper plus registers, which is what produces the
+LUT/flip-flop overheads reported in the resource-reduction experiment.
+"""
+
+from repro.baselines.abc_lut import AbcLutMapper
+from repro.baselines.common import BaselineResult, DesignFeatures, analyze_design
+from repro.baselines.sota import SotaIntelMapper, SotaLatticeMapper, SotaXilinxMapper, sota_for
+from repro.baselines.yosys_like import YosysLikeMapper
+
+__all__ = [
+    "BaselineResult",
+    "DesignFeatures",
+    "analyze_design",
+    "AbcLutMapper",
+    "YosysLikeMapper",
+    "SotaXilinxMapper",
+    "SotaLatticeMapper",
+    "SotaIntelMapper",
+    "sota_for",
+]

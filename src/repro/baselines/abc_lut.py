@@ -1,0 +1,113 @@
+"""An ABC-style LUT mapper for the fabric fallback path.
+
+When a baseline cannot push (part of) a design into a DSP, the remaining
+combinational logic is implemented with LUTs, exactly as Yosys hands designs
+to ABC.  This module bit-blasts the residual logic to an AIG (reusing the
+solver substrate's bit-blaster), enumerates cuts bottom-up, and covers the
+AIG with K-input LUTs using the classic greedy depth-then-area heuristic.
+Register counts come straight from the design's pipeline structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.bv.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.bv.ast import BVExpr
+from repro.bv.bitblast import BitBlaster
+
+__all__ = ["AbcLutMapper", "LutMappingResult"]
+
+
+@dataclass
+class LutMappingResult:
+    """Outcome of covering a block of combinational logic with K-LUTs."""
+
+    lut_count: int
+    depth: int
+    aig_nodes: int
+
+
+class AbcLutMapper:
+    """Greedy cut-based covering of an AIG with K-input LUTs."""
+
+    def __init__(self, lut_size: int = 6, max_cuts_per_node: int = 8) -> None:
+        self.lut_size = lut_size
+        self.max_cuts_per_node = max_cuts_per_node
+
+    # ------------------------------------------------------------------ #
+    def map_expressions(self, expressions: List[BVExpr]) -> LutMappingResult:
+        """Bit-blast the expressions into one AIG and cover it with LUTs."""
+        blaster = BitBlaster()
+        output_lits: List[int] = []
+        for expression in expressions:
+            output_lits.extend(blaster.blast(expression))
+        return self.map_aig(blaster.aig, output_lits)
+
+    def map_aig(self, aig: AIG, output_lits: List[int]) -> LutMappingResult:
+        """Cover the cone of ``output_lits`` with K-LUTs."""
+        needed: Set[int] = set()
+        stack = [lit >> 1 for lit in output_lits]
+        while stack:
+            index = stack.pop()
+            if index in needed or index == 0:
+                continue
+            needed.add(index)
+            if not aig.is_input(index):
+                left, right = aig.node(index)
+                stack.append(left >> 1)
+                stack.append(right >> 1)
+
+        # Cut enumeration in topological order (node indices are topological
+        # by construction).
+        cuts: Dict[int, List[frozenset]] = {}
+        best_cut: Dict[int, frozenset] = {}
+        depth: Dict[int, int] = {}
+
+        for index in sorted(needed):
+            if aig.is_input(index):
+                cuts[index] = [frozenset({index})]
+                best_cut[index] = frozenset({index})
+                depth[index] = 0
+                continue
+            left, right = aig.node(index)
+            left_index, right_index = left >> 1, right >> 1
+            left_cuts = cuts.get(left_index, [frozenset()])
+            right_cuts = cuts.get(right_index, [frozenset()])
+            merged: List[frozenset] = [frozenset({index})]
+            for lc in left_cuts:
+                for rc in right_cuts:
+                    cut = lc | rc
+                    if len(cut) <= self.lut_size and cut not in merged:
+                        merged.append(cut)
+            # Keep the best few cuts (smallest first) to bound the work.
+            merged.sort(key=len)
+            cuts[index] = merged[: self.max_cuts_per_node]
+
+            def cut_depth(cut: frozenset) -> int:
+                if cut == frozenset({index}):
+                    return 1 + max(depth.get(left_index, 0), depth.get(right_index, 0))
+                return 1 + max((depth.get(leaf, 0) for leaf in cut), default=0)
+
+            chosen = min(cuts[index], key=lambda cut: (cut_depth(cut), len(cut)))
+            best_cut[index] = chosen
+            depth[index] = cut_depth(chosen)
+
+        # Greedy covering from the outputs down.
+        lut_roots: Set[int] = set()
+        frontier = [lit >> 1 for lit in output_lits if (lit >> 1) in needed and not aig.is_input(lit >> 1)]
+        visited: Set[int] = set()
+        while frontier:
+            index = frontier.pop()
+            if index in visited or aig.is_input(index) or index == 0:
+                continue
+            visited.add(index)
+            lut_roots.add(index)
+            for leaf in best_cut[index]:
+                if leaf != index and not aig.is_input(leaf) and leaf != 0:
+                    frontier.append(leaf)
+
+        max_depth = max((depth.get(lit >> 1, 0) for lit in output_lits), default=0)
+        return LutMappingResult(lut_count=len(lut_roots), depth=max_depth,
+                                aig_nodes=len(needed))

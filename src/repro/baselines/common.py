@@ -1,0 +1,101 @@
+"""Shared machinery for the baseline mappers.
+
+Baselines work the way real pattern-matching mappers do: they inspect the
+*structure* of the behavioral design (is there a multiply?  is one operand
+of the multiply itself an add/sub — a pre-adder?  is the multiply's result
+combined with another operand — a post-operation?  how many pipeline
+registers follow?) and decide from hand-written rules whether that shape is
+one they can push into a DSP.  :func:`analyze_design` performs that feature
+extraction on the ℒbeh program; the mapper classes consume the features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.lang import BVNode, OpNode, Program, RegNode, VarNode
+from repro.core.lower import ResourceCount
+
+__all__ = ["DesignFeatures", "BaselineResult", "analyze_design"]
+
+
+@dataclass
+class DesignFeatures:
+    """Structural features of a behavioral design fragment."""
+
+    input_count: int = 0
+    width: int = 0
+    pipeline_stages: int = 0
+    has_multiply: bool = False
+    multiply_has_preadd: bool = False
+    preadd_is_subtract: bool = False
+    post_op: Optional[str] = None  # operator applied to the multiply result
+    is_signed: bool = False
+    operators: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline mapping attempt.
+
+    ``mapped_to_single_dsp`` is the success criterion of Figure 6: the tool
+    produced an implementation using exactly one DSP and no fabric logic.
+    """
+
+    tool: str
+    design_name: str
+    architecture: str
+    mapped_to_single_dsp: bool
+    resources: ResourceCount
+    time_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.mapped_to_single_dsp
+
+
+def analyze_design(program: Program, is_signed: bool = False) -> DesignFeatures:
+    """Extract mapper-visible features from a behavioral program."""
+    features = DesignFeatures(is_signed=is_signed)
+    features.input_count = len(program.free_vars())
+    widths = list(program.var_widths().values())
+    features.width = max(widths) if widths else 0
+
+    # Pipeline depth: longest register chain from the root upward.
+    def register_depth(node_id: int, seen) -> int:
+        if node_id in seen:
+            return 0
+        node = program[node_id]
+        if isinstance(node, RegNode):
+            return 1 + register_depth(node.data, seen | {node_id})
+        return max((register_depth(i, seen | {node_id}) for i in node.inputs()), default=0)
+
+    features.pipeline_stages = register_depth(program.root, frozenset())
+
+    multiplies: List[OpNode] = []
+    for node in program.nodes.values():
+        if isinstance(node, OpNode):
+            features.operators.add(node.op)
+            if node.op == "mul":
+                multiplies.append(node)
+    features.has_multiply = bool(multiplies)
+
+    if multiplies:
+        multiply = multiplies[0]
+        for operand_id in multiply.operands:
+            operand = program[operand_id]
+            if isinstance(operand, OpNode) and operand.op in ("add", "sub"):
+                # Only a pre-adder if it feeds the multiplier from inputs.
+                if all(isinstance(program[i], (VarNode, BVNode)) for i in operand.operands):
+                    features.multiply_has_preadd = True
+                    features.preadd_is_subtract = operand.op == "sub"
+        # Find an operator that consumes the multiply result (post-op).
+        multiply_ids = {node_id for node_id, node in program.nodes.items()
+                        if isinstance(node, OpNode) and node.op == "mul"}
+        for node in program.nodes.values():
+            if isinstance(node, OpNode) and node.op != "mul":
+                if any(i in multiply_ids for i in node.operands):
+                    features.post_op = node.op
+                    break
+    return features

@@ -1,0 +1,89 @@
+"""Word-level bitvector expression substrate.
+
+This subpackage plays the role of Rosette's symbolic bitvector language in
+the original Lakeroad implementation: it provides an immutable, hash-consed
+expression IR over fixed-width bitvectors, concrete evaluation, aggressive
+local rewriting (constant folding, mux collapsing, concat/extract pushing),
+an And-Inverter Graph with structural hashing, and bit-blasting to CNF.
+
+The public surface is the set of smart constructors in
+:mod:`repro.bv.builder` (re-exported here), which always return simplified,
+interned :class:`~repro.bv.ast.BVExpr` nodes.
+"""
+
+from repro.bv.ast import BVExpr, Sort
+from repro.bv.builder import (
+    bv,
+    bvadd,
+    bvand,
+    bvashr,
+    bvconcat,
+    bveq,
+    bvextract,
+    bvite,
+    bvlshr,
+    bvmul,
+    bvne,
+    bvneg,
+    bvnot,
+    bvor,
+    bvredand,
+    bvredor,
+    bvsge,
+    bvsgt,
+    bvshl,
+    bvsle,
+    bvslt,
+    bvsub,
+    bvuge,
+    bvugt,
+    bvule,
+    bvult,
+    bvvar,
+    bvxnor,
+    bvxor,
+    sign_extend,
+    zero_extend,
+)
+from repro.bv.eval import evaluate, free_vars
+from repro.bv.simplify import simplify, substitute
+
+__all__ = [
+    "BVExpr",
+    "Sort",
+    "bv",
+    "bvvar",
+    "bvadd",
+    "bvsub",
+    "bvmul",
+    "bvneg",
+    "bvnot",
+    "bvand",
+    "bvor",
+    "bvxor",
+    "bvxnor",
+    "bvshl",
+    "bvlshr",
+    "bvashr",
+    "bvconcat",
+    "bvextract",
+    "bvite",
+    "bveq",
+    "bvne",
+    "bvult",
+    "bvule",
+    "bvugt",
+    "bvuge",
+    "bvslt",
+    "bvsle",
+    "bvsgt",
+    "bvsge",
+    "bvredand",
+    "bvredor",
+    "zero_extend",
+    "sign_extend",
+    "evaluate",
+    "free_vars",
+    "simplify",
+    "substitute",
+]

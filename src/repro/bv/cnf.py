@@ -1,0 +1,63 @@
+"""Tseitin encoding of an AIG into CNF.
+
+The CNF produced here is consumed by :mod:`repro.sat`.  CNF variables are
+1-based (DIMACS convention); AIG node ``n`` maps to CNF variable ``n + 1``
+so that the constant node 0 gets a dedicated variable forced to FALSE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bv.aig import AIG
+from repro.sat.cnf import CNF
+
+__all__ = ["aig_to_cnf", "lit_to_cnf"]
+
+
+def lit_to_cnf(lit: int) -> int:
+    """Map an AIG literal to a signed DIMACS literal."""
+    var = (lit >> 1) + 1
+    return -var if lit & 1 else var
+
+
+def aig_to_cnf(aig: AIG, output_lits: List[int]) -> tuple[CNF, Dict[str, int]]:
+    """Encode the cone of influence of ``output_lits`` as CNF.
+
+    Returns the CNF (with the outputs asserted true) and a map from input
+    bit names to their CNF variable numbers.
+    """
+    cnf = CNF(num_vars=aig.num_nodes)
+
+    # Constant-false node.
+    cnf.add_clause([-1])
+
+    needed = set()
+    stack = [lit >> 1 for lit in output_lits]
+    while stack:
+        index = stack.pop()
+        if index in needed:
+            continue
+        needed.add(index)
+        left, right = aig.node(index)
+        if (left, right) != (-1, -1) and index != 0:
+            stack.append(left >> 1)
+            stack.append(right >> 1)
+
+    for index in sorted(needed):
+        if index == 0 or aig.is_input(index):
+            continue
+        left, right = aig.node(index)
+        out_var = index + 1
+        left_lit = lit_to_cnf(left)
+        right_lit = lit_to_cnf(right)
+        # out <-> left AND right
+        cnf.add_clause([-out_var, left_lit])
+        cnf.add_clause([-out_var, right_lit])
+        cnf.add_clause([out_var, -left_lit, -right_lit])
+
+    for lit in output_lits:
+        cnf.add_clause([lit_to_cnf(lit)])
+
+    input_vars = {name: (aig.input_literal(name) >> 1) + 1 for name in aig.inputs}
+    return cnf, input_vars

@@ -1,0 +1,51 @@
+"""Concrete evaluation of bitvector expressions."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+from repro.bv.ast import BVExpr
+from repro.bv.ops import apply_op
+
+__all__ = ["evaluate", "free_vars"]
+
+
+def evaluate(expr: BVExpr, env: Mapping[str, int]) -> int:
+    """Evaluate ``expr`` under ``env`` (variable name -> unsigned int value).
+
+    Raises :class:`KeyError` if a free variable has no binding.
+    """
+    cache: Dict[BVExpr, int] = {}
+    for node in expr.iter_dag():
+        if node.op == "const":
+            cache[node] = node.value
+        elif node.op == "var":
+            value = env[node.name]
+            cache[node] = value & ((1 << node.width) - 1)
+        else:
+            arg_values = [cache[a] for a in node.args]
+            arg_widths = [a.width for a in node.args]
+            cache[node] = apply_op(node.op, node.width, arg_values, arg_widths, node.params)
+    return cache[expr]
+
+
+def free_vars(expr: BVExpr) -> FrozenSet[str]:
+    """The set of free variable names appearing in ``expr``."""
+    return frozenset(node.name for node in expr.iter_dag() if node.op == "var")
+
+
+def var_widths(expr: BVExpr) -> Dict[str, int]:
+    """Map each free variable name to its width.
+
+    Raises :class:`ValueError` if the same name appears with two widths.
+    """
+    widths: Dict[str, int] = {}
+    for node in expr.iter_dag():
+        if node.op == "var":
+            existing = widths.get(node.name)
+            if existing is not None and existing != node.width:
+                raise ValueError(
+                    f"variable {node.name!r} used at widths {existing} and {node.width}"
+                )
+            widths[node.name] = node.width
+    return widths

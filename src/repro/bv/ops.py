@@ -1,0 +1,195 @@
+"""Concrete semantics of every bitvector operator.
+
+Each helper operates on plain Python integers interpreted as unsigned
+bitvectors of a given width, and returns a masked unsigned result.  These
+are the single source of truth for operator meaning: the expression
+evaluator, the ``ℒlr`` interpreter, the HDL simulator and the bit-blaster
+are all tested against (or built from) these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+__all__ = [
+    "mask",
+    "truncate",
+    "to_signed",
+    "from_signed",
+    "apply_op",
+    "OP_IMPLS",
+]
+
+
+def mask(width: int) -> int:
+    """All-ones bitmask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Interpret ``value`` as an unsigned ``width``-bit quantity."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's complement."""
+    value = truncate(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as an unsigned ``width``-bit value."""
+    return value & mask(width)
+
+
+def _bool(value: bool) -> int:
+    return 1 if value else 0
+
+
+def _add(width: int, args: Sequence[int]) -> int:
+    return truncate(sum(args), width)
+
+
+def _sub(width: int, args: Sequence[int]) -> int:
+    a, b = args
+    return truncate(a - b, width)
+
+
+def _mul(width: int, args: Sequence[int]) -> int:
+    result = 1
+    for a in args:
+        result *= a
+    return truncate(result, width)
+
+
+def _and(width: int, args: Sequence[int]) -> int:
+    result = mask(width)
+    for a in args:
+        result &= a
+    return result
+
+
+def _or(width: int, args: Sequence[int]) -> int:
+    result = 0
+    for a in args:
+        result |= a
+    return truncate(result, width)
+
+
+def _xor(width: int, args: Sequence[int]) -> int:
+    result = 0
+    for a in args:
+        result ^= a
+    return truncate(result, width)
+
+
+def _xnor(width: int, args: Sequence[int]) -> int:
+    a, b = args
+    return truncate(~(a ^ b), width)
+
+
+def _not(width: int, args: Sequence[int]) -> int:
+    return truncate(~args[0], width)
+
+
+def _neg(width: int, args: Sequence[int]) -> int:
+    return truncate(-args[0], width)
+
+
+def _redand(width: int, args: Sequence[int], in_width: int) -> int:
+    return _bool(args[0] == mask(in_width))
+
+
+def _redor(width: int, args: Sequence[int], in_width: int) -> int:
+    return _bool(args[0] != 0)
+
+
+def _shl(width: int, args: Sequence[int]) -> int:
+    a, sh = args
+    if sh >= width:
+        return 0
+    return truncate(a << sh, width)
+
+
+def _lshr(width: int, args: Sequence[int]) -> int:
+    a, sh = args
+    if sh >= width:
+        return 0
+    return a >> sh
+
+
+def _ashr(width: int, args: Sequence[int], in_width: int) -> int:
+    a, sh = args
+    signed = to_signed(a, in_width)
+    if sh >= in_width:
+        sh = in_width
+    return from_signed(signed >> sh, width)
+
+
+#: Word-level operator implementations taking ``(result_width, [arg values])``.
+OP_IMPLS: Dict[str, Callable[..., int]] = {
+    "add": _add,
+    "sub": _sub,
+    "mul": _mul,
+    "and": _and,
+    "or": _or,
+    "xor": _xor,
+    "xnor": _xnor,
+    "not": _not,
+    "neg": _neg,
+    "shl": _shl,
+    "lshr": _lshr,
+}
+
+
+def apply_op(op: str, result_width: int, arg_values: Sequence[int],
+             arg_widths: Sequence[int], params: Sequence[int] = ()) -> int:
+    """Apply operator ``op`` to concrete unsigned argument values.
+
+    ``arg_widths`` carries the widths of the arguments, which matters for the
+    signed and reduction operators; ``params`` carries the ``(hi, lo)`` pair
+    for ``extract``.
+    """
+    if op in OP_IMPLS:
+        return OP_IMPLS[op](result_width, arg_values)
+    if op == "ashr":
+        return _ashr(result_width, arg_values, arg_widths[0])
+    if op == "redand":
+        return _redand(result_width, arg_values, arg_widths[0])
+    if op == "redor":
+        return _redor(result_width, arg_values, arg_widths[0])
+    if op == "concat":
+        # args are listed most-significant first (SMT-LIB convention)
+        result = 0
+        for value, width in zip(arg_values, arg_widths):
+            result = (result << width) | truncate(value, width)
+        return result
+    if op == "extract":
+        hi, lo = params
+        return (arg_values[0] >> lo) & mask(hi - lo + 1)
+    if op == "ite":
+        cond, then_v, else_v = arg_values
+        return then_v if cond else else_v
+    if op == "eq":
+        return _bool(arg_values[0] == arg_values[1])
+    if op == "ne":
+        return _bool(arg_values[0] != arg_values[1])
+    if op == "ult":
+        return _bool(arg_values[0] < arg_values[1])
+    if op == "ule":
+        return _bool(arg_values[0] <= arg_values[1])
+    if op == "ugt":
+        return _bool(arg_values[0] > arg_values[1])
+    if op == "uge":
+        return _bool(arg_values[0] >= arg_values[1])
+    if op == "slt":
+        return _bool(to_signed(arg_values[0], arg_widths[0]) < to_signed(arg_values[1], arg_widths[1]))
+    if op == "sle":
+        return _bool(to_signed(arg_values[0], arg_widths[0]) <= to_signed(arg_values[1], arg_widths[1]))
+    if op == "sgt":
+        return _bool(to_signed(arg_values[0], arg_widths[0]) > to_signed(arg_values[1], arg_widths[1]))
+    if op == "sge":
+        return _bool(to_signed(arg_values[0], arg_widths[0]) >= to_signed(arg_values[1], arg_widths[1]))
+    raise ValueError(f"unknown bitvector operator: {op!r}")

@@ -1,0 +1,83 @@
+"""The ``lakeroad`` command-line interface (Section 2.2).
+
+Usage mirrors the paper::
+
+    lakeroad --template dsp --arch-desc xilinx-ultrascale-plus add_mul_and.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch import available_architectures
+from repro.core.templates import available_templates
+from repro.lakeroad import map_verilog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lakeroad",
+        description="FPGA technology mapping using sketch-guided program synthesis "
+                    "(reproduction of the ASPLOS 2024 Lakeroad paper).")
+    parser.add_argument("verilog", help="behavioral Verilog file to map")
+    parser.add_argument("--template", default="dsp", choices=available_templates(),
+                        help="sketch template to use (default: dsp)")
+    parser.add_argument("--arch-desc", default="xilinx-ultrascale-plus",
+                        help="architecture description name or path "
+                             f"(shipped: {', '.join(available_architectures())})")
+    parser.add_argument("--module", default=None, help="module name if the file has several")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="synthesis timeout in seconds (default: per-architecture)")
+    parser.add_argument("--extra-cycles", type=int, default=1,
+                        help="extra clock cycles of bounded model checking (default: 1)")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the structural Verilog here (default: stdout)")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip post-synthesis simulation validation")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    source_path = Path(args.verilog)
+    if not source_path.exists():
+        parser.error(f"no such file: {args.verilog}")
+    source = source_path.read_text()
+
+    result = map_verilog(
+        source,
+        template=args.template,
+        arch=args.arch_desc,
+        module_name=args.module,
+        timeout_seconds=args.timeout,
+        extra_cycles=args.extra_cycles,
+        validate=not args.no_validate,
+    )
+
+    print(f"status: {result.status} ({result.time_seconds:.2f}s)", file=sys.stderr)
+    if result.status == "success":
+        if result.resources is not None:
+            print(f"resources: {result.resources}", file=sys.stderr)
+        if result.validated is not None:
+            print(f"simulation validation: {'passed' if result.validated else 'FAILED'}",
+                  file=sys.stderr)
+        if args.output:
+            Path(args.output).write_text(result.verilog or "")
+        else:
+            print(result.verilog or "")
+        return 0
+    if result.status == "unsat":
+        print("UNSAT: the sketch cannot implement this design on the target primitive",
+              file=sys.stderr)
+        return 2
+    print("timeout: synthesis did not finish within the budget", file=sys.stderr)
+    return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Program equivalence for ℒlr (Section 3.3 and Section 3.5).
+
+``p ≡_t d`` holds when the two programs have the same free variables and
+produce the same root value at time ``t`` under every environment.  The
+bounded-model-checking extension of §3.5 conjoins the equality over the
+window ``t .. t + c``.
+
+Equivalence is decided by symbolically interpreting both programs over the
+*same* per-timestep input variables and handing the miter to
+:mod:`repro.smt.equivalence`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bv import bvvar
+from repro.bv.ast import BVExpr
+from repro.core.interp import SymbolicInterpreter, input_variable_name
+from repro.core.lang import Program
+from repro.smt.equivalence import EquivalenceResult, check_equivalence
+from repro.smt.solver import SmtSolver
+
+__all__ = ["ProgramEquivalenceResult", "program_equivalent", "output_pairs"]
+
+
+@dataclass
+class ProgramEquivalenceResult:
+    """Result of a program equivalence query over one or more timesteps."""
+
+    status: str  # "equivalent", "different", "unknown"
+    failing_time: Optional[int] = None
+    counterexample: Optional[Dict[str, int]] = None
+    time_seconds: float = 0.0
+
+    @property
+    def is_equivalent(self) -> bool:
+        return self.status == "equivalent"
+
+
+def output_pairs(candidate: Program, design: Program, start_time: int,
+                 cycles: int = 0) -> List[Tuple[int, BVExpr, BVExpr]]:
+    """Symbolic outputs of both programs at each checked timestep.
+
+    Returns tuples ``(t, candidate_output, design_output)`` for
+    ``t = start_time .. start_time + cycles``, with both programs reading the
+    same per-timestep input variables.
+    """
+    if candidate.free_vars() != design.free_vars():
+        raise ValueError(
+            f"programs have different free variables: {sorted(candidate.free_vars())} "
+            f"vs {sorted(design.free_vars())}")
+    pairs: List[Tuple[int, BVExpr, BVExpr]] = []
+    candidate_interp = SymbolicInterpreter(candidate)
+    design_interp = SymbolicInterpreter(design)
+    for t in range(start_time, start_time + cycles + 1):
+        pairs.append((t, candidate_interp.run(t), design_interp.run(t)))
+    return pairs
+
+
+def program_equivalent(candidate: Program, design: Program, at_time: int,
+                       cycles: int = 0, deadline: Optional[float] = None,
+                       solver: Optional[SmtSolver] = None) -> ProgramEquivalenceResult:
+    """Decide ``candidate ≡_t design`` (and, with ``cycles`` > 0, ``f*_lr``'s
+    window ``t .. t + cycles``)."""
+    start = time.monotonic()
+    for t, candidate_out, design_out in output_pairs(candidate, design, at_time, cycles):
+        result: EquivalenceResult = check_equivalence(candidate_out, design_out,
+                                                      deadline=deadline, solver=solver)
+        if result.is_equivalent:
+            continue
+        elapsed = time.monotonic() - start
+        if result.is_unknown:
+            return ProgramEquivalenceResult("unknown", failing_time=t, time_seconds=elapsed)
+        counterexample = result.counterexample.as_dict() if result.counterexample else {}
+        return ProgramEquivalenceResult("different", failing_time=t,
+                                        counterexample=counterexample, time_seconds=elapsed)
+    return ProgramEquivalenceResult("equivalent", time_seconds=time.monotonic() - start)

@@ -1,0 +1,83 @@
+"""Primitive interfaces (Section 4.1).
+
+A primitive interface is an architecture-independent abstraction of a class
+of FPGA primitives: ``LUT`` (n-input lookup table), ``CARRY`` (w-wide carry
+chain), ``MUX`` (n-input multiplexer) and ``DSP`` (a DSP slice with up to
+four data inputs and a clock).  Sketch templates are written against these
+interfaces; architecture descriptions say how each interface is implemented
+by a concrete vendor primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["PrimitiveInterface", "DSP_INTERFACE", "LUT_INTERFACE", "CARRY_INTERFACE",
+           "MUX_INTERFACE", "INTERFACES", "interface_by_name"]
+
+
+@dataclass(frozen=True)
+class PrimitiveInterface:
+    """An abstract primitive.
+
+    Attributes:
+        name: interface name (``DSP``, ``LUT``, ``CARRY``, ``MUX``).
+        data_inputs: ordered names of the interface's data input ports.
+        output: name of the interface output port.
+        parameters: names of size parameters an implementation must supply
+            (e.g. ``num_inputs`` for LUTs, port widths for DSPs).
+        has_clock: whether implementations may be sequential.
+    """
+
+    name: str
+    data_inputs: Tuple[str, ...]
+    output: str = "O"
+    parameters: Tuple[str, ...] = ()
+    has_clock: bool = False
+
+    def describe(self) -> str:
+        ports = ", ".join(self.data_inputs)
+        return f"{self.name}({ports}) -> {self.output}"
+
+
+#: DSPs on all platforms generally have two to four data inputs and a clock.
+DSP_INTERFACE = PrimitiveInterface(
+    name="DSP",
+    data_inputs=("A", "B", "C", "D"),
+    output="O",
+    parameters=("out_width", "a_width", "b_width", "c_width", "d_width"),
+    has_clock=True,
+)
+
+LUT_INTERFACE = PrimitiveInterface(
+    name="LUT",
+    data_inputs=("I0", "I1", "I2", "I3", "I4", "I5"),
+    output="O",
+    parameters=("num_inputs",),
+)
+
+CARRY_INTERFACE = PrimitiveInterface(
+    name="CARRY",
+    data_inputs=("S", "DI", "CI"),
+    output="O",
+    parameters=("width",),
+)
+
+MUX_INTERFACE = PrimitiveInterface(
+    name="MUX",
+    data_inputs=("I0", "I1", "S"),
+    output="O",
+    parameters=("num_inputs",),
+)
+
+INTERFACES: Dict[str, PrimitiveInterface] = {
+    interface.name: interface
+    for interface in (DSP_INTERFACE, LUT_INTERFACE, CARRY_INTERFACE, MUX_INTERFACE)
+}
+
+
+def interface_by_name(name: str) -> PrimitiveInterface:
+    if name not in INTERFACES:
+        raise KeyError(f"unknown primitive interface {name!r}; known: {sorted(INTERFACES)}")
+    return INTERFACES[name]

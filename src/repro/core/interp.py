@@ -1,0 +1,260 @@
+"""Interpretation of ℒlr programs (Figure 4 of the paper).
+
+Two interpreters share the same recursion structure:
+
+* :class:`ConcreteInterpreter` evaluates a program on integer input streams
+  (``Env = Var ⇀ Time → BV``) — this is the reference semantics used by the
+  simulator-based validation and by the test suite.
+* :class:`SymbolicInterpreter` evaluates a program to a word-level
+  :class:`~repro.bv.ast.BVExpr`, with each input variable at each timestep
+  becoming a fresh solver variable and each hole becoming a (time-invariant)
+  solver variable.  This is what turns the synthesis query of Section 3.3
+  into the quantifier-free obligations handed to CEGIS.
+
+Both interpreters are primitive recursive in ``(t, w(node))`` exactly as in
+the paper's Lemma 3.1 — the recursion on registers decreases ``t`` and all
+other recursion follows the acyclicity witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.bv import (
+    bv,
+    bvvar,
+)
+from repro.bv import builder as bvb
+from repro.bv.ast import BVExpr
+from repro.bv.ops import apply_op, truncate
+from repro.core.lang import (
+    BVNode,
+    HoleNode,
+    Node,
+    OpNode,
+    PrimNode,
+    Program,
+    RegNode,
+    VarNode,
+)
+
+__all__ = [
+    "Stream",
+    "ConcreteInterpreter",
+    "SymbolicInterpreter",
+    "interpret",
+    "symbolic_output",
+    "hole_variable_name",
+    "input_variable_name",
+]
+
+#: A stream is a function from time to an integer value, or a sequence
+#: indexed by time (as in "streams are built up from multiple invocations").
+Stream = Union[Callable[[int], int], Sequence[int]]
+
+
+def _stream_value(stream: Stream, t: int) -> int:
+    if callable(stream):
+        return stream(t)
+    return stream[t]
+
+
+def input_variable_name(name: str, t: int) -> str:
+    """The solver variable standing for input ``name`` at timestep ``t``."""
+    return f"{name}@{t}"
+
+
+def hole_variable_name(name: str) -> str:
+    """The solver variable standing for hole ``name`` (time-invariant)."""
+    return f"hole!{name}"
+
+
+# --------------------------------------------------------------------------- #
+# Concrete interpretation
+# --------------------------------------------------------------------------- #
+class ConcreteInterpreter:
+    """Evaluate a program on concrete integer input streams."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._cache: Dict[Tuple[int, int, int], int] = {}
+        self._next_context = 0
+
+    def run(self, env: Mapping[str, Stream], t: int) -> int:
+        """``Interp p e t p.root`` (Figure 4)."""
+        return self._interp(self.program, dict(env), t, self.program.root, context=0)
+
+    # ------------------------------------------------------------------ #
+    def _interp(self, prog: Program, env: Dict[str, Stream], t: int,
+                node_id: int, context: int) -> int:
+        key = (context, node_id, t)
+        if key in self._cache:
+            return self._cache[key]
+        node = prog[node_id]
+        value = self._interp_node(prog, env, t, node, context)
+        self._cache[key] = value
+        return value
+
+    def _interp_node(self, prog: Program, env: Dict[str, Stream], t: int,
+                     node: Node, context: int) -> int:
+        if isinstance(node, BVNode):
+            return node.value
+        if isinstance(node, VarNode):
+            if node.name not in env:
+                raise KeyError(f"no stream bound for input {node.name!r}")
+            return truncate(_stream_value(env[node.name], t), node.width)
+        if isinstance(node, RegNode):
+            if t == 0:
+                return truncate(node.init, node.width)
+            return truncate(self._interp(prog, env, t - 1, node.data, context), node.width)
+        if isinstance(node, OpNode):
+            return self._interp_op(prog, env, t, node, context)
+        if isinstance(node, PrimNode):
+            # Build the fresh environment e' = λ x, t'. Interp p e t' (p[bs x]).
+            bindings = node.binding_map()
+
+            def make_stream(parent_id: int) -> Callable[[int], int]:
+                return lambda t_prime: self._interp(prog, env, t_prime, parent_id, context)
+
+            inner_env = {name: make_stream(parent_id) for name, parent_id in bindings.items()}
+            self._next_context += 1
+            inner_context = self._next_context
+            return self._interp(node.semantics, inner_env, t, node.semantics.root,
+                                inner_context)
+        if isinstance(node, HoleNode):
+            raise ValueError(f"cannot interpret hole {node.name!r}; fill the sketch first")
+        raise TypeError(f"unknown node type {type(node).__name__}")
+
+    def _interp_op(self, prog: Program, env: Dict[str, Stream], t: int,
+                   node: OpNode, context: int) -> int:
+        arg_values = [self._interp(prog, env, t, i, context) for i in node.operands]
+        arg_widths = [prog[i].width for i in node.operands]
+        if node.op == "zero_extend":
+            return arg_values[0]
+        if node.op == "sign_extend":
+            from repro.bv.ops import to_signed, from_signed
+            return from_signed(to_signed(arg_values[0], arg_widths[0]), node.width)
+        return apply_op(node.op, node.width, arg_values, arg_widths, node.params)
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic interpretation
+# --------------------------------------------------------------------------- #
+class SymbolicInterpreter:
+    """Evaluate a program to a solver bitvector expression.
+
+    Input variables become per-timestep solver variables; holes become
+    time-invariant solver variables named via :func:`hole_variable_name`.
+    An optional ``input_exprs`` map lets callers pin inputs to arbitrary
+    expressions instead (used when comparing two programs over the *same*
+    symbolic inputs).
+    """
+
+    def __init__(self, program: Program,
+                 input_exprs: Optional[Mapping[Tuple[str, int], BVExpr]] = None) -> None:
+        self.program = program
+        self.input_exprs = dict(input_exprs) if input_exprs else {}
+        self._cache: Dict[Tuple[int, int, int], BVExpr] = {}
+        self._next_context = 0
+
+    def run(self, t: int) -> BVExpr:
+        """Symbolic value of the program's root at time ``t``."""
+        env = {}  # the top-level environment reads primary inputs directly
+        return self._interp(self.program, env, t, self.program.root, context=0)
+
+    # ------------------------------------------------------------------ #
+    def _input(self, name: str, width: int, t: int) -> BVExpr:
+        pinned = self.input_exprs.get((name, t))
+        if pinned is not None:
+            if pinned.width != width:
+                raise ValueError(
+                    f"pinned input {name!r}@{t} has width {pinned.width}, expected {width}")
+            return pinned
+        return bvvar(input_variable_name(name, t), width)
+
+    def _interp(self, prog: Program, env: Dict[str, Callable[[int], BVExpr]], t: int,
+                node_id: int, context: int) -> BVExpr:
+        key = (context, node_id, t)
+        if key in self._cache:
+            return self._cache[key]
+        node = prog[node_id]
+        value = self._interp_node(prog, env, t, node, context)
+        if value.width != node.width:
+            raise ValueError(
+                f"internal width error at node {node_id}: got {value.width}, "
+                f"expected {node.width}")
+        self._cache[key] = value
+        return value
+
+    def _interp_node(self, prog: Program, env: Dict[str, Callable[[int], BVExpr]],
+                     t: int, node: Node, context: int) -> BVExpr:
+        if isinstance(node, BVNode):
+            return bv(node.value, node.width)
+        if isinstance(node, VarNode):
+            if node.name in env:
+                return env[node.name](t)
+            return self._input(node.name, node.width, t)
+        if isinstance(node, HoleNode):
+            return bvvar(hole_variable_name(node.name), node.width)
+        if isinstance(node, RegNode):
+            if t == 0:
+                return bv(node.init, node.width)
+            return self._interp(prog, env, t - 1, node.data, context)
+        if isinstance(node, OpNode):
+            return self._interp_op(prog, env, t, node, context)
+        if isinstance(node, PrimNode):
+            bindings = node.binding_map()
+
+            def make_stream(parent_id: int) -> Callable[[int], BVExpr]:
+                return lambda t_prime: self._interp(prog, env, t_prime, parent_id, context)
+
+            inner_env = {name: make_stream(parent_id) for name, parent_id in bindings.items()}
+            self._next_context += 1
+            inner_context = self._next_context
+            return self._interp(node.semantics, inner_env, t, node.semantics.root,
+                                inner_context)
+        raise TypeError(f"unknown node type {type(node).__name__}")
+
+    def _interp_op(self, prog: Program, env, t: int, node: OpNode, context: int) -> BVExpr:
+        args = [self._interp(prog, env, t, i, context) for i in node.operands]
+        op = node.op
+        if op == "extract":
+            hi, lo = node.params
+            return bvb.bvextract(hi, lo, args[0])
+        if op == "zero_extend":
+            return bvb.zero_extend(args[0], node.width - args[0].width)
+        if op == "sign_extend":
+            return bvb.sign_extend(args[0], node.width - args[0].width)
+        if op == "concat":
+            return bvb.bvconcat(*args)
+        if op == "ite":
+            return bvb.bvite(*args)
+        constructors = {
+            "add": bvb.bvadd, "sub": bvb.bvsub, "mul": bvb.bvmul, "neg": bvb.bvneg,
+            "not": bvb.bvnot, "and": bvb.bvand, "or": bvb.bvor, "xor": bvb.bvxor,
+            "xnor": bvb.bvxnor, "shl": bvb.bvshl, "lshr": bvb.bvlshr, "ashr": bvb.bvashr,
+            "eq": bvb.bveq, "ne": bvb.bvne,
+            "ult": bvb.bvult, "ule": bvb.bvule, "ugt": bvb.bvugt, "uge": bvb.bvuge,
+            "slt": bvb.bvslt, "sle": bvb.bvsle, "sgt": bvb.bvsgt, "sge": bvb.bvsge,
+            "redand": bvb.bvredand, "redor": bvb.bvredor,
+        }
+        if op not in constructors:
+            raise ValueError(f"operator {op!r} has no symbolic interpretation")
+        result = constructors[op](*args)
+        # Arithmetic/bitwise results keep their operand width, which matches
+        # the node width by construction; predicates are 1-bit.
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# Convenience wrappers
+# --------------------------------------------------------------------------- #
+def interpret(program: Program, env: Mapping[str, Stream], t: int) -> int:
+    """Evaluate ``program`` on input streams ``env`` at time ``t``."""
+    return ConcreteInterpreter(program).run(env, t)
+
+
+def symbolic_output(program: Program, t: int,
+                    input_exprs: Optional[Mapping[Tuple[str, int], BVExpr]] = None) -> BVExpr:
+    """The program's root value at time ``t`` as a solver expression."""
+    return SymbolicInterpreter(program, input_exprs).run(t)

@@ -1,0 +1,145 @@
+"""Sketches: ℒsketch programs plus their hole domains (Section 3.1).
+
+A sketch Ψ is formalised as a pair (ψ, h) where ψ is a program with holes
+and h maps each hole to the finite set of hole-free structural nodes that
+may fill it.  In this implementation — as in the Rosette implementation the
+paper describes — h is represented implicitly: every hole ranges over the
+constant bitvectors of its width, optionally restricted by solver
+constraints contributed by the architecture description.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bv.ast import BVExpr
+from repro.core.lang import (
+    BVNode,
+    HoleNode,
+    Node,
+    PrimNode,
+    Program,
+    ProgramBuilder,
+)
+
+__all__ = ["Sketch", "fill_holes", "clone_program"]
+
+
+@dataclass
+class Sketch:
+    """A sketch: the ℒsketch program plus hole metadata.
+
+    Attributes:
+        program: the ℒsketch program ψ.
+        hole_widths: hole name -> width (the implicit domain ``h``: every
+            constant of that width, subject to ``hole_constraints``).
+        hole_constraints: 1-bit solver expressions over hole variables (see
+            :func:`repro.core.interp.hole_variable_name`) contributed by the
+            architecture description to rule out invalid configurations.
+        description: human-readable provenance (template and architecture).
+    """
+
+    program: Program
+    hole_widths: Dict[str, int] = field(default_factory=dict)
+    hole_constraints: List[BVExpr] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        discovered = {name: hole.width for name, hole in self.program.holes().items()}
+        for name, width in discovered.items():
+            declared = self.hole_widths.get(name)
+            if declared is not None and declared != width:
+                raise ValueError(f"hole {name!r} declared width {declared}, found {width}")
+            self.hole_widths[name] = width
+
+    @property
+    def hole_names(self) -> List[str]:
+        return sorted(self.hole_widths)
+
+    def hole_count(self) -> int:
+        return len(self.hole_widths)
+
+    def configuration_space_bits(self) -> int:
+        """Total number of free hole bits (log2 of the raw search space)."""
+        return sum(self.hole_widths.values())
+
+
+def _replace_holes_in(program: Program, values: Mapping[str, int]) -> Program:
+    replacements: Dict[int, Node] = {}
+    for node_id, node in program.nodes.items():
+        if isinstance(node, HoleNode) and node.name in values:
+            replacements[node_id] = BVNode(values[node.name], node.width)
+        elif isinstance(node, PrimNode):
+            new_semantics = _replace_holes_in(node.semantics, values)
+            if new_semantics.nodes != node.semantics.nodes:
+                replacements[node_id] = PrimNode(node.bindings, new_semantics,
+                                                 node.width, node.metadata)
+    if not replacements:
+        return program
+    return program.with_nodes(replacements)
+
+
+def fill_holes(sketch: Sketch, hole_values: Mapping[str, int]) -> Program:
+    """Ψ[■x1 ↦ n1, ...]: replace every hole with a constant node.
+
+    Raises if a hole is left unfilled — the result must be a complete
+    ℒstruct program.
+    """
+    missing = set(sketch.hole_widths) - set(hole_values)
+    if missing:
+        raise ValueError(f"holes left unfilled: {sorted(missing)}")
+    return _replace_holes_in(sketch.program, hole_values)
+
+
+def clone_program(program: Program, builder: Optional[ProgramBuilder] = None,
+                  rename_holes: Optional[Mapping[str, str]] = None) -> Tuple[Program, Dict[int, int]]:
+    """Deep-copy a program with fresh node ids (and optionally renamed holes).
+
+    Sketch generation instantiates the same primitive-interface semantics
+    several times within one sketch; cloning keeps the W2 condition (all ids
+    unique and distinct) intact.  Returns the clone and the old-id -> new-id
+    map for the top-level program.
+    """
+    builder = builder if builder is not None else ProgramBuilder()
+    rename_holes = dict(rename_holes or {})
+    id_map: Dict[int, int] = {}
+
+    def clone_into(prog: Program, target: ProgramBuilder) -> Tuple[int, Dict[int, int]]:
+        local_map: Dict[int, int] = {}
+        # Topologically order nodes so inputs are cloned before users; a
+        # simple iterative worklist over dependencies suffices because
+        # programs are finite and acyclic through combinational paths, and
+        # register back-edges refer to ids we may not have cloned yet -- so
+        # we clone in two passes: first allocate ids, then fix references.
+        for node_id in prog.nodes:
+            local_map[node_id] = next(ProgramBuilder._counter)
+        new_nodes: Dict[int, Node] = {}
+        for node_id, node in prog.nodes.items():
+            new_nodes[local_map[node_id]] = _clone_node(node, local_map)
+        new_prog = Program(local_map[prog.root], new_nodes)
+        return local_map[prog.root], local_map, new_prog
+
+    def _clone_node(node: Node, local_map: Dict[int, int]) -> Node:
+        from repro.core.lang import BVNode, OpNode, RegNode, VarNode
+
+        if isinstance(node, (BVNode, VarNode)):
+            return node
+        if isinstance(node, HoleNode):
+            new_name = rename_holes.get(node.name, node.name)
+            return HoleNode(new_name, node.width)
+        if isinstance(node, OpNode):
+            return OpNode(node.op, tuple(local_map[i] for i in node.operands),
+                          node.width, node.params)
+        if isinstance(node, RegNode):
+            return RegNode(local_map[node.data], node.init, node.width)
+        if isinstance(node, PrimNode):
+            _, _, new_semantics = clone_into(node.semantics, builder)
+            new_bindings = tuple((name, local_map[i]) for name, i in node.bindings)
+            return PrimNode(new_bindings, new_semantics, node.width, node.metadata)
+        raise TypeError(f"cannot clone node type {type(node).__name__}")
+
+    _, top_map, new_program = clone_into(program, builder)
+    id_map.update(top_map)
+    return new_program, id_map

@@ -1,0 +1,238 @@
+"""Sketch generation: template × architecture description → sketch (§4.3).
+
+A sketch template is architecture-independent: it builds a sketch program
+against *primitive interfaces* (DSP, LUT, CARRY, MUX) through the
+:class:`SketchContext` API.  This module specialises interface instances
+into concrete vendor primitives using the architecture description — wiring
+the interface's data inputs to vendor ports, turning ``internal_data``
+entries into holes, and attaching the vendor model's extracted semantics to
+the resulting Prim node.
+
+If the architecture does not implement a requested interface directly, the
+context attempts the interface conversions §4.2 describes (a mux from LUTs,
+a smaller LUT from a larger LUT) and raises otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.loader import ArchDescription, InterfaceImplementation
+from repro.core.interfaces import interface_by_name
+from repro.core.lang import PrimMetadata, Program, ProgramBuilder
+from repro.core.sketch import Sketch, clone_program
+from repro.vendor.library import PrimitiveLibrary
+
+__all__ = ["SketchContext", "SketchGenerationError", "generate_sketch"]
+
+
+class SketchGenerationError(ValueError):
+    """Raised when a template cannot be specialised for an architecture."""
+
+
+@dataclass
+class DesignInterface:
+    """What the sketch must look like from the outside: the design's inputs
+    and output width (its free variables and root width)."""
+
+    input_widths: Dict[str, int]
+    output_width: int
+
+    def ordered_inputs(self) -> List[Tuple[str, int]]:
+        return sorted(self.input_widths.items())
+
+
+class SketchContext:
+    """Builder facade handed to sketch templates."""
+
+    def __init__(self, arch: ArchDescription, design: DesignInterface,
+                 library: Optional[PrimitiveLibrary] = None) -> None:
+        self.arch = arch
+        self.design = design
+        self.library = library if library is not None else PrimitiveLibrary()
+        self.builder = ProgramBuilder()
+        self._hole_counter = 0
+        self._input_ids: Dict[str, int] = {}
+        for name, width in design.ordered_inputs():
+            self._input_ids[name] = self.builder.var(name, width)
+
+    # ------------------------------------------------------------------ #
+    # Basic node construction
+    # ------------------------------------------------------------------ #
+    def input(self, name: str) -> int:
+        return self._input_ids[name]
+
+    def input_names(self) -> List[str]:
+        return [name for name, _ in self.design.ordered_inputs()]
+
+    def const(self, value: int, width: int) -> int:
+        return self.builder.const(value, width)
+
+    def op(self, op: str, operands: Sequence[int], width: int,
+           params: Sequence[int] = ()) -> int:
+        return self.builder.op(op, operands, width, params)
+
+    def extract(self, node: int, hi: int, lo: int) -> int:
+        return self.builder.op("extract", [node], hi - lo + 1, params=(hi, lo))
+
+    def concat(self, nodes: Sequence[int]) -> int:
+        width = sum(self.width_of(n) for n in nodes)
+        return self.builder.op("concat", list(nodes), width)
+
+    def width_of(self, node: int) -> int:
+        return self.builder.nodes[node].width
+
+    def hole(self, prefix: str, width: int) -> int:
+        self._hole_counter += 1
+        return self.builder.hole(f"{prefix}_{self._hole_counter}", width)
+
+    # ------------------------------------------------------------------ #
+    # Architecture-independent helpers used by templates
+    # ------------------------------------------------------------------ #
+    def select_input(self, port_label: str) -> int:
+        """A hole-controlled selection among all design inputs.
+
+        The synthesis engine decides which design input feeds which primitive
+        data port, so the template does not need to know (for example) that
+        the DSP48E2's pre-adder operates on its D and A ports.
+        """
+        inputs = self.design.ordered_inputs()
+        width = max(width for _, width in inputs)
+        candidates: List[int] = []
+        for name, input_width in inputs:
+            node = self.input(name)
+            if input_width < width:
+                node = self.op("zero_extend", [node], width, params=(width - input_width,))
+            candidates.append(node)
+        # Also allow a constant zero so unused ports can be parked.
+        candidates.append(self.const(0, width))
+        select_bits = max(1, math.ceil(math.log2(len(candidates))))
+        selector = self.hole(f"{port_label}_sel", select_bits)
+        result = candidates[-1]
+        for index in range(len(candidates) - 2, -1, -1):
+            condition = self.op("eq", [selector, self.const(index, select_bits)], 1)
+            result = self.op("ite", [condition, candidates[index], result], width)
+        return result
+
+    def extend_to(self, node: int, target_width: int, port_label: str) -> int:
+        """Extend a node to a primitive port width; a 1-bit hole chooses
+        between zero- and sign-extension (covering unsigned and signed
+        designs with one sketch)."""
+        width = self.width_of(node)
+        if width == target_width:
+            return node
+        if width > target_width:
+            return self.extract(node, target_width - 1, 0)
+        extra = target_width - width
+        zero_ext = self.op("zero_extend", [node], target_width, params=(extra,))
+        sign_ext = self.op("sign_extend", [node], target_width, params=(extra,))
+        choose_signed = self.hole(f"{port_label}_signext", 1)
+        return self.op("ite", [choose_signed, sign_ext, zero_ext], target_width)
+
+    # ------------------------------------------------------------------ #
+    # Interface instantiation
+    # ------------------------------------------------------------------ #
+    def implementation(self, interface_name: str) -> InterfaceImplementation:
+        impl = self.arch.implementation(interface_name)
+        if impl is None:
+            raise SketchGenerationError(
+                f"architecture {self.arch.name!r} does not implement the "
+                f"{interface_name} primitive interface")
+        return impl
+
+    def instantiate(self, interface_name: str,
+                    interface_inputs: Mapping[str, int]) -> int:
+        """Instantiate a primitive interface; returns the output node id.
+
+        ``interface_inputs`` maps the interface's data-input names to node
+        ids.  Internal data (configuration) becomes fresh holes.
+        """
+        interface_by_name(interface_name)
+        impl = self.implementation(interface_name)
+        model = self.library.load(impl.module)
+        semantics, _ = clone_program(model.semantics)
+        semantic_inputs = set(semantics.var_widths())
+
+        bindings: Dict[str, int] = {}
+        parameter_ports: List[str] = []
+        port_map: List[Tuple[str, str]] = []
+
+        # Vendor data ports driven by interface inputs / constants / concats.
+        for binding in impl.ports:
+            node = self._resolve_port_value(binding.value, binding.width,
+                                            interface_inputs, binding.port)
+            if binding.port in semantic_inputs:
+                bindings[binding.port] = node
+                port_map.append((binding.port, binding.port))
+
+        # Internal data entries become holes (and vendor parameters).
+        for name, width in impl.internal_data.items():
+            if name not in semantic_inputs:
+                continue
+            hole = self.hole(f"{impl.module}_{name}", width)
+            bindings[name] = hole
+            parameter_ports.append(name)
+            port_map.append((name, name))
+
+        missing = semantic_inputs - set(bindings)
+        for name in sorted(missing):
+            width = semantics.var_widths()[name]
+            bindings[name] = self.const(0, width)
+            port_map.append((name, name))
+
+        metadata = PrimMetadata(
+            module_name=impl.module,
+            architecture=self.arch.name,
+            port_map=tuple(port_map),
+            parameter_ports=tuple(parameter_ports),
+            output_port=impl.output_port,
+            output_width=semantics[semantics.root].width,
+            clock_port=impl.clock,
+        )
+        output_width = semantics[semantics.root].width
+        return self.builder.prim(bindings, semantics, output_width, metadata)
+
+    def _resolve_port_value(self, value: str, width: int,
+                            interface_inputs: Mapping[str, int], port: str) -> int:
+        text = str(value).strip()
+        if text.startswith("(bv"):
+            _, raw_value, raw_width = text.strip("()").split()
+            return self.const(int(raw_value), int(raw_width))
+        if text.startswith("(concat"):
+            names = text.strip("()").split()[1:]
+            parts = []
+            for name in names:
+                if name not in interface_inputs:
+                    raise SketchGenerationError(
+                        f"interface input {name!r} (needed by port {port}) was not provided")
+                parts.append(interface_inputs[name])
+            return self.concat(parts)
+        if text not in interface_inputs:
+            raise SketchGenerationError(
+                f"interface input {text!r} (needed by port {port}) was not provided")
+        node = interface_inputs[text]
+        node_width = self.width_of(node)
+        if node_width < width:
+            node = self.op("zero_extend", [node], width, params=(width - node_width,))
+        elif node_width > width:
+            node = self.extract(node, width - 1, 0)
+        return node
+
+    # ------------------------------------------------------------------ #
+    def finish(self, root: int, description: str) -> Sketch:
+        program = self.builder.build(root)
+        return Sketch(program, description=description)
+
+
+def generate_sketch(template_name: str, arch: ArchDescription,
+                    design: DesignInterface,
+                    library: Optional[PrimitiveLibrary] = None) -> Sketch:
+    """Specialise a named sketch template for an architecture and design."""
+    from repro.core.templates import template_by_name
+
+    template = template_by_name(template_name)
+    context = SketchContext(arch, design, library)
+    root = template.build(context)
+    return context.finish(root, description=f"{template_name}@{arch.name}")

@@ -1,0 +1,86 @@
+"""The ℒbeh, ℒstruct and ℒsketch sublanguages of ℒlr (Section 3.2.1).
+
+* ℒbeh    -- behavioral fragment: no Prim nodes and no holes.  Used for
+  writing specifications.
+* ℒstruct -- structural fragment: no Reg nodes, no OP nodes and no holes,
+  *except* that the semantics program carried by each Prim node must be
+  behavioral (it specifies the primitive's meaning to the solver and is not
+  emitted to HDL).
+* ℒsketch -- ℒstruct plus holes.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang import (
+    BVNode,
+    HoleNode,
+    OpNode,
+    PrimNode,
+    Program,
+    RegNode,
+    VarNode,
+)
+
+__all__ = ["is_behavioral", "is_structural", "is_sketch", "classify"]
+
+#: Wire-level plumbing allowed in structural programs (hooking design inputs
+#: up to primitive ports requires concat/extract/extension, which carry no
+#: logic and lower to plain wiring in Verilog).
+_STRUCTURAL_WIRE_OPS = frozenset({"concat", "extract", "zero_extend", "sign_extend"})
+
+
+def is_behavioral(program: Program) -> bool:
+    """ℒbeh membership: no Prim nodes, no holes (recursively trivial)."""
+    return all(not isinstance(node, (PrimNode, HoleNode)) for node in program.nodes.values())
+
+
+def _structural_nodes_ok(program: Program, allow_holes: bool) -> bool:
+    for node in program.nodes.values():
+        if isinstance(node, (BVNode, VarNode)):
+            continue
+        if isinstance(node, HoleNode):
+            if not allow_holes:
+                return False
+            continue
+        if isinstance(node, RegNode):
+            return False
+        if isinstance(node, OpNode):
+            if node.op in _STRUCTURAL_WIRE_OPS:
+                continue
+            # Sketches may additionally contain hole-controlled selection
+            # logic (the implicit ``h`` map of §3.1: each such mux chooses
+            # which structural node fills the hole).  That logic must fold
+            # away once holes are filled, so it is allowed only when holes
+            # are allowed.
+            if allow_holes and node.op in ("ite", "eq"):
+                continue
+            return False
+        if isinstance(node, PrimNode):
+            # The Prim's semantics must come from ℒbeh.
+            if not is_behavioral(node.semantics):
+                return False
+            continue
+        return False
+    return True
+
+
+def is_structural(program: Program) -> bool:
+    """ℒstruct membership (hole-free)."""
+    return _structural_nodes_ok(program, allow_holes=False)
+
+
+def is_sketch(program: Program) -> bool:
+    """ℒsketch membership (ℒstruct plus holes)."""
+    return _structural_nodes_ok(program, allow_holes=True)
+
+
+def classify(program: Program) -> str:
+    """Return the most specific fragment name: 'behavioral', 'structural',
+    'sketch', or 'lr' for the full language."""
+    if is_behavioral(program):
+        return "behavioral"
+    if is_structural(program):
+        return "structural"
+    if is_sketch(program):
+        return "sketch"
+    return "lr"

@@ -1,0 +1,50 @@
+"""Architecture-independent sketch templates (Section 4.3).
+
+Lakeroad ships five templates: ``dsp``, ``bitwise``, ``bitwise-with-carry``,
+``comparison`` and ``multiplication``.  Each template is a small object with
+a ``build(context)`` method that constructs a sketch against primitive
+interfaces through the :class:`repro.core.sketch_gen.SketchContext` API; the
+same template therefore works on every architecture whose description
+implements the interfaces it uses.
+"""
+
+from repro.core.templates.base import SketchTemplate
+from repro.core.templates.bitwise import BitwiseTemplate
+from repro.core.templates.bitwise_carry import BitwiseWithCarryTemplate
+from repro.core.templates.comparison import ComparisonTemplate
+from repro.core.templates.dsp import DspTemplate
+from repro.core.templates.multiplication import MultiplicationTemplate
+
+__all__ = [
+    "SketchTemplate",
+    "DspTemplate",
+    "BitwiseTemplate",
+    "BitwiseWithCarryTemplate",
+    "ComparisonTemplate",
+    "MultiplicationTemplate",
+    "TEMPLATES",
+    "template_by_name",
+    "available_templates",
+]
+
+TEMPLATES = {
+    template.name: template
+    for template in (
+        DspTemplate(),
+        BitwiseTemplate(),
+        BitwiseWithCarryTemplate(),
+        ComparisonTemplate(),
+        MultiplicationTemplate(),
+    )
+}
+
+
+def available_templates() -> list:
+    """Names of the shipped sketch templates."""
+    return sorted(TEMPLATES)
+
+
+def template_by_name(name: str) -> SketchTemplate:
+    if name not in TEMPLATES:
+        raise KeyError(f"unknown sketch template {name!r}; available: {available_templates()}")
+    return TEMPLATES[name]

@@ -1,0 +1,31 @@
+"""Base class shared by the sketch templates."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
+    from repro.core.sketch_gen import SketchContext
+
+__all__ = ["SketchTemplate"]
+
+
+class SketchTemplate:
+    """An architecture-independent sketch template.
+
+    Subclasses define ``name`` and implement :meth:`build`, which constructs
+    the sketch program against primitive interfaces using the context API
+    and returns the root node id.
+    """
+
+    #: Template name used on the command line (``--template dsp``).
+    name: str = ""
+    #: Primitive interfaces the template requires from the architecture.
+    required_interfaces: tuple = ()
+
+    def build(self, context: "SketchContext") -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        interfaces = ", ".join(self.required_interfaces) or "none"
+        return f"{self.name}: requires interfaces [{interfaces}]"

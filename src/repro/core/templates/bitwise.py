@@ -1,0 +1,57 @@
+"""The ``bitwise`` sketch template: one LUT per output bit.
+
+Implements any per-bit (bitwise) function of the design inputs — AND, OR,
+XOR, arbitrary boolean mixes — by instantiating one LUT interface instance
+per output bit.  Bit ``i`` of every design input feeds the LUT's inputs and
+the LUT memory is a hole, so the solver picks the function.
+"""
+
+from __future__ import annotations
+
+from repro.core.templates.base import SketchTemplate
+
+__all__ = ["BitwiseTemplate", "lut_inputs_for_bit"]
+
+
+def lut_inputs_for_bit(context, bit: int, num_inputs: int) -> dict:
+    """Interface inputs for one LUT: bit ``bit`` of each design input,
+    padded with constant zeros up to ``num_inputs``."""
+    interface_inputs = {}
+    index = 0
+    for name in context.input_names():
+        if index >= num_inputs:
+            break
+        width = context.design.input_widths[name]
+        source = context.input(name)
+        if bit < width:
+            interface_inputs[f"I{index}"] = context.extract(source, bit, bit)
+        else:
+            interface_inputs[f"I{index}"] = context.const(0, 1)
+        index += 1
+    while index < num_inputs:
+        interface_inputs[f"I{index}"] = context.const(0, 1)
+        index += 1
+    return interface_inputs
+
+
+class BitwiseTemplate(SketchTemplate):
+    name = "bitwise"
+    required_interfaces = ("LUT",)
+
+    def build(self, context) -> int:
+        implementation = context.implementation("LUT")
+        num_inputs = int(implementation.interface_params.get("num_inputs", 4))
+        if len(context.input_names()) > num_inputs:
+            raise_inputs = len(context.input_names())
+            from repro.core.sketch_gen import SketchGenerationError
+
+            raise SketchGenerationError(
+                f"bitwise template needs a LUT with at least {raise_inputs} inputs; "
+                f"{context.arch.name} provides LUT{num_inputs}")
+        out_width = context.design.output_width
+        bits = []
+        for bit in range(out_width):
+            interface_inputs = lut_inputs_for_bit(context, bit, num_inputs)
+            bits.append(context.instantiate("LUT", interface_inputs))
+        # concat expects the most-significant part first.
+        return context.concat(list(reversed(bits)))

@@ -1,0 +1,51 @@
+"""The ``bitwise-with-carry`` sketch template: LUTs feeding a carry chain.
+
+Implements designs such as addition and subtraction: one LUT per bit
+computes the carry chain's propagate signal, a second set of holes feeds the
+generate input, and a CARRY interface instance combines them.  Falls back
+to implementing the carry out of LUTs (per §4.2's interface conversions) is
+not provided; architectures without a CARRY implementation raise.
+"""
+
+from __future__ import annotations
+
+from repro.core.templates.base import SketchTemplate
+from repro.core.templates.bitwise import lut_inputs_for_bit
+
+__all__ = ["BitwiseWithCarryTemplate"]
+
+
+class BitwiseWithCarryTemplate(SketchTemplate):
+    name = "bitwise-with-carry"
+    required_interfaces = ("LUT", "CARRY")
+
+    def build(self, context) -> int:
+        lut_impl = context.implementation("LUT")
+        carry_impl = context.implementation("CARRY")
+        num_inputs = int(lut_impl.interface_params.get("num_inputs", 4))
+        carry_width = int(carry_impl.interface_params.get("width", 8))
+        out_width = context.design.output_width
+        if out_width > carry_width:
+            from repro.core.sketch_gen import SketchGenerationError
+
+            raise SketchGenerationError(
+                f"bitwise-with-carry currently supports designs up to the carry "
+                f"chain width ({carry_width} bits); got {out_width}")
+
+        # Propagate bits come from per-bit LUTs (their memories are holes).
+        propagate_bits = []
+        generate_bits = []
+        for bit in range(carry_width):
+            if bit < out_width:
+                interface_inputs = lut_inputs_for_bit(context, bit, num_inputs)
+                propagate_bits.append(context.instantiate("LUT", interface_inputs))
+                generate_bits.append(context.instantiate("LUT", interface_inputs))
+            else:
+                propagate_bits.append(context.const(0, 1))
+                generate_bits.append(context.const(0, 1))
+
+        s_bus = context.concat(list(reversed(propagate_bits)))
+        di_bus = context.concat(list(reversed(generate_bits)))
+        carry_in = context.hole("carry_in", 1)
+        carry_out = context.instantiate("CARRY", {"S": s_bus, "DI": di_bus, "CI": carry_in})
+        return context.extract(carry_out, out_width - 1, 0)

@@ -1,0 +1,52 @@
+"""The ``comparison`` sketch template: LUT/carry-based arithmetic comparison.
+
+Comparisons (equality, less-than) are implemented the way fabric logic
+implements them: a subtraction through the carry chain whose final carry-out
+or a LUT-reduction of per-bit equality gives the 1-bit result.  This
+reproduction implements the LUT-reduction form, which works on every
+architecture that implements the LUT interface (including SOFA).
+"""
+
+from __future__ import annotations
+
+from repro.core.templates.base import SketchTemplate
+from repro.core.templates.bitwise import lut_inputs_for_bit
+
+__all__ = ["ComparisonTemplate"]
+
+
+class ComparisonTemplate(SketchTemplate):
+    name = "comparison"
+    required_interfaces = ("LUT",)
+
+    def build(self, context) -> int:
+        lut_impl = context.implementation("LUT")
+        num_inputs = int(lut_impl.interface_params.get("num_inputs", 4))
+        operand_width = max(context.design.input_widths.values())
+
+        # Stage 1: one LUT per bit position produces a per-bit verdict.
+        verdict_bits = []
+        for bit in range(operand_width):
+            interface_inputs = lut_inputs_for_bit(context, bit, num_inputs)
+            verdict_bits.append(context.instantiate("LUT", interface_inputs))
+
+        # Stage 2: reduce the per-bit verdicts with a tree of LUTs whose
+        # memories are also holes, ending in a single bit.
+        current = verdict_bits
+        while len(current) > 1:
+            next_level = []
+            for start in range(0, len(current), num_inputs):
+                group = current[start:start + num_inputs]
+                interface_inputs = {}
+                for index in range(num_inputs):
+                    interface_inputs[f"I{index}"] = (group[index] if index < len(group)
+                                                     else context.const(0, 1))
+                next_level.append(context.instantiate("LUT", interface_inputs))
+            current = next_level
+
+        result = current[0]
+        out_width = context.design.output_width
+        if out_width == 1:
+            return result
+        padding = context.const(0, out_width - 1)
+        return context.concat([padding, result])

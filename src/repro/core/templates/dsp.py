@@ -1,0 +1,42 @@
+"""The ``dsp`` sketch template: a single DSP interface instance.
+
+This is the template the paper's evaluation exercises: it instantiates one
+DSP, lets synthesis decide which design input drives which DSP data port
+(via selection holes) and whether each port is zero- or sign-extended, and
+leaves every configuration port of the underlying primitive as a hole.  The
+output is the low slice of the DSP result at the design's output width.
+"""
+
+from __future__ import annotations
+
+from repro.core.templates.base import SketchTemplate
+
+__all__ = ["DspTemplate"]
+
+
+class DspTemplate(SketchTemplate):
+    name = "dsp"
+    required_interfaces = ("DSP",)
+
+    def build(self, context) -> int:
+        implementation = context.implementation("DSP")
+        interface_inputs = {}
+        for binding in implementation.ports:
+            for interface_input in _interface_inputs(binding.value):
+                if interface_input in interface_inputs:
+                    continue
+                selected = context.select_input(interface_input)
+                interface_inputs[interface_input] = context.extend_to(
+                    selected, binding.width, interface_input)
+        dsp_output = context.instantiate("DSP", interface_inputs)
+        out_width = context.design.output_width
+        return context.extract(dsp_output, out_width - 1, 0)
+
+
+def _interface_inputs(value: str) -> list:
+    text = str(value).strip()
+    if text.startswith("(bv"):
+        return []
+    if text.startswith("(concat"):
+        return text.strip("()").split()[1:]
+    return [text]

@@ -1,0 +1,49 @@
+"""The ``multiplication`` sketch template: LUT-based multiplication.
+
+For architectures without a DSP (SOFA) or for small operands, multiplication
+can be implemented purely in LUTs: every output bit is a boolean function of
+all input bits, so one LUT per output bit suffices as long as the total
+number of input bits fits within the architecture's LUT size.  Wider designs
+would need the carry-chain array-multiplier decomposition, which is out of
+scope for this template (and for the paper's evaluation, which maps
+multiplications onto DSPs).
+"""
+
+from __future__ import annotations
+
+from repro.core.templates.base import SketchTemplate
+
+__all__ = ["MultiplicationTemplate"]
+
+
+class MultiplicationTemplate(SketchTemplate):
+    name = "multiplication"
+    required_interfaces = ("LUT",)
+
+    def build(self, context) -> int:
+        lut_impl = context.implementation("LUT")
+        num_inputs = int(lut_impl.interface_params.get("num_inputs", 4))
+        total_input_bits = sum(context.design.input_widths.values())
+        if total_input_bits > num_inputs:
+            from repro.core.sketch_gen import SketchGenerationError
+
+            raise SketchGenerationError(
+                f"multiplication template needs every input bit to fit in one LUT "
+                f"(LUT{num_inputs}, design has {total_input_bits} input bits); use the "
+                f"dsp template for wider multiplications")
+
+        # Flatten every bit of every design input into the LUT input list.
+        flat_bits = []
+        for name in context.input_names():
+            source = context.input(name)
+            for bit in range(context.design.input_widths[name]):
+                flat_bits.append(context.extract(source, bit, bit))
+        while len(flat_bits) < num_inputs:
+            flat_bits.append(context.const(0, 1))
+
+        out_width = context.design.output_width
+        output_bits = []
+        for _ in range(out_width):
+            interface_inputs = {f"I{index}": flat_bits[index] for index in range(num_inputs)}
+            output_bits.append(context.instantiate("LUT", interface_inputs))
+        return context.concat(list(reversed(output_bits)))

@@ -1,0 +1,121 @@
+"""Program-level simplification of filled sketches.
+
+A sketch may contain wire-selection logic — multiplexers choosing which
+design input drives a primitive port, or whether a port is zero- or
+sign-extended — whose selectors are holes.  Once synthesis fills the holes
+with constants, that logic is constant-foldable: this pass folds it away so
+the final program is a plain ℒstruct program (primitives plus wiring), which
+is what compilation to structural Verilog requires.
+
+The pass is purely local constant folding plus dead-node elimination; it
+performs no optimisation of the design itself, preserving the paper's
+"one-to-one syntactic mapping" property for everything that reaches Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bv.ops import apply_op, from_signed, to_signed
+from repro.core.lang import (
+    BVNode,
+    HoleNode,
+    Node,
+    OpNode,
+    PrimNode,
+    Program,
+    RegNode,
+    VarNode,
+)
+
+__all__ = ["fold_constants", "prune_unreachable", "simplify_structural"]
+
+
+def _evaluate_op(node: OpNode, operands) -> int:
+    values = [op.value for op in operands]
+    widths = [op.width for op in operands]
+    if node.op == "zero_extend":
+        return values[0]
+    if node.op == "sign_extend":
+        return from_signed(to_signed(values[0], widths[0]), node.width)
+    return apply_op(node.op, node.width, values, widths, node.params)
+
+
+def fold_constants(program: Program) -> Program:
+    """Fold operator nodes whose operands are constants; collapse constant
+    muxes to the selected branch."""
+    # alias maps a node id to the id that should be used in its place.
+    alias: Dict[int, int] = {}
+    new_nodes: Dict[int, Node] = {}
+
+    def resolve(node_id: int) -> int:
+        while node_id in alias:
+            node_id = alias[node_id]
+        return node_id
+
+    changed = True
+    nodes = dict(program.nodes)
+    while changed:
+        changed = False
+        for node_id in list(nodes):
+            node = nodes[node_id]
+            if not isinstance(node, OpNode):
+                continue
+            operand_ids = [resolve(i) for i in node.operands]
+            operands = [nodes[i] for i in operand_ids]
+            if operand_ids != list(node.operands):
+                nodes[node_id] = OpNode(node.op, tuple(operand_ids), node.width, node.params)
+                node = nodes[node_id]
+                changed = True
+            if node.op == "ite" and isinstance(operands[0], BVNode):
+                chosen = operand_ids[1] if operands[0].value else operand_ids[2]
+                alias[node_id] = chosen
+                del nodes[node_id]
+                changed = True
+                continue
+            if all(isinstance(op, BVNode) for op in operands) and node.op != "concat":
+                value = _evaluate_op(node, operands)
+                nodes[node_id] = BVNode(value, node.width)
+                changed = True
+
+    # Rewrite remaining references through the alias map.
+    def remap(node: Node) -> Node:
+        if isinstance(node, OpNode):
+            return OpNode(node.op, tuple(resolve(i) for i in node.operands),
+                          node.width, node.params)
+        if isinstance(node, RegNode):
+            return RegNode(resolve(node.data), node.init, node.width)
+        if isinstance(node, PrimNode):
+            new_bindings = tuple((name, resolve(i)) for name, i in node.bindings)
+            return PrimNode(new_bindings, node.semantics, node.width, node.metadata)
+        return node
+
+    for node_id, node in nodes.items():
+        new_nodes[node_id] = remap(node)
+    root = resolve(program.root)
+    return Program(root, new_nodes)
+
+
+def prune_unreachable(program: Program, keep_vars: bool = True) -> Program:
+    """Remove nodes not reachable from the root.
+
+    With ``keep_vars`` (the default) input Var nodes survive even when
+    unreferenced so the program's free-variable set — its port list — stays
+    stable across simplification.
+    """
+    reachable = set()
+    stack = [program.root]
+    while stack:
+        node_id = stack.pop()
+        if node_id in reachable:
+            continue
+        reachable.add(node_id)
+        stack.extend(program[node_id].inputs())
+    kept = {node_id: node for node_id, node in program.nodes.items()
+            if node_id in reachable or (keep_vars and isinstance(node, VarNode))}
+    return Program(program.root, kept)
+
+
+def simplify_structural(program: Program) -> Program:
+    """Constant-fold and prune a filled sketch down to plain ℒstruct."""
+    return prune_unreachable(fold_constants(program))

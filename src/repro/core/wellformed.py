@@ -1,0 +1,125 @@
+"""Well-formedness of ℒlr programs (conditions W1–W6 of Section 3.2.1).
+
+``check_well_formed`` either returns a witness of acyclicity (the strictly
+monotone function ``w`` of Property 1) or raises :class:`WellFormednessError`
+describing the violated condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.lang import HoleNode, Node, OpNode, PrimNode, Program, RegNode, VarNode
+
+__all__ = ["WellFormednessError", "check_well_formed", "is_well_formed", "acyclicity_witness"]
+
+
+class WellFormednessError(ValueError):
+    """Raised when a program violates one of the W1–W6 conditions."""
+
+    def __init__(self, condition: str, message: str) -> None:
+        super().__init__(f"{condition}: {message}")
+        self.condition = condition
+
+
+def _check_unique_ids(program: Program, seen: Set[int]) -> None:
+    """W2: all ids of the program and its subprograms are unique and distinct."""
+    overlap = program.ids & seen
+    if overlap:
+        raise WellFormednessError("W2", f"duplicated node ids: {sorted(overlap)}")
+    seen |= program.ids
+    for sub in program.subprograms():
+        _check_unique_ids(sub, seen)
+
+
+def _check_structure(program: Program) -> None:
+    """W1, W3, W4 (recursively), W5."""
+    if program.root not in program.ids:
+        raise WellFormednessError("W1", f"root {program.root} is not a node of the program")
+    for node_id, node in program.nodes.items():
+        for input_id in node.inputs():
+            if input_id not in program.ids:
+                raise WellFormednessError(
+                    "W3", f"node {node_id} reads id {input_id} which is not in the program")
+        if isinstance(node, PrimNode):
+            bound = set(node.binding_map().keys())
+            free = set(node.semantics.free_vars())
+            if bound != free:
+                raise WellFormednessError(
+                    "W5",
+                    f"Prim node {node_id} binds {sorted(bound)} but its semantics "
+                    f"has free variables {sorted(free)}")
+            _check_structure(node.semantics)  # W4
+
+
+def acyclicity_witness(program: Program) -> Dict[int, int]:
+    """Compute the monotone witness ``w`` of Property 1, or raise (W6).
+
+    The witness assigns 0 to registers and to each other node a value
+    strictly greater than its combinational inputs; Prim nodes sit strictly
+    above their semantics' root, and a subprogram's Var nodes sit strictly
+    above the parent node they are bound to.
+    """
+    weights: Dict[int, int] = {}
+    in_progress: Set[int] = set()
+
+    # Map: node id -> (program containing it, binding context for Var lookups)
+    # The binding context maps a subprogram's Var name to the parent node id.
+    containers: Dict[int, Program] = {}
+    var_bindings: Dict[int, Dict[str, int]] = {}
+
+    def register(prog: Program, bindings: Dict[str, int]) -> None:
+        for node_id, node in prog.nodes.items():
+            containers[node_id] = prog
+            var_bindings[node_id] = bindings
+            if isinstance(node, PrimNode):
+                register(node.semantics, {name: parent_id
+                                          for name, parent_id in node.binding_map().items()})
+
+    register(program, {})
+
+    def weight(node_id: int) -> int:
+        if node_id in weights:
+            return weights[node_id]
+        if node_id in in_progress:
+            raise WellFormednessError("W6", f"combinational loop through node {node_id}")
+        in_progress.add(node_id)
+        prog = containers[node_id]
+        node = prog[node_id]
+        if isinstance(node, RegNode):
+            value = 0
+        elif isinstance(node, PrimNode):
+            value = weight(node.semantics.root) + 1
+        elif isinstance(node, VarNode):
+            bindings = var_bindings[node_id]
+            if node.name in bindings:
+                value = weight(bindings[node.name]) + 1
+            else:
+                value = 0
+        elif isinstance(node, (OpNode,)):
+            value = max((weight(i) for i in node.inputs()), default=0) + 1
+        else:  # BVNode, HoleNode
+            value = 0
+        in_progress.discard(node_id)
+        weights[node_id] = value
+        return value
+
+    for node_id in containers:
+        weight(node_id)
+    return weights
+
+
+def check_well_formed(program: Program) -> Dict[int, int]:
+    """Check W1–W6; returns the acyclicity witness on success."""
+    _check_unique_ids(program, set())
+    _check_structure(program)
+    return acyclicity_witness(program)
+
+
+def is_well_formed(program: Program) -> bool:
+    """Boolean convenience wrapper around :func:`check_well_formed`."""
+    try:
+        check_well_formed(program)
+        return True
+    except WellFormednessError:
+        return False

@@ -1,0 +1,12 @@
+"""Experiment harness: runners and per-figure/table reproduction entry points."""
+
+from repro.harness.runner import ExperimentConfig, MappingRecord, run_lakeroad, run_baselines
+from repro.harness import experiments
+
+__all__ = [
+    "ExperimentConfig",
+    "MappingRecord",
+    "run_lakeroad",
+    "run_baselines",
+    "experiments",
+]

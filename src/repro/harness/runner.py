@@ -1,0 +1,123 @@
+"""Running tools over microbenchmarks and collecting per-run records."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import YosysLikeMapper, sota_for
+from repro.hdl.behavioral import verilog_to_behavioral
+from repro.lakeroad import map_design
+from repro.workloads.generator import Microbenchmark
+
+__all__ = ["ExperimentConfig", "MappingRecord", "run_lakeroad", "run_baselines"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs for an experiment run.
+
+    The paper's full-scale settings are ``timeout_seconds`` of 120/40/20 for
+    Xilinx/Lattice/Intel and the complete enumeration; the defaults here are
+    sized for a laptop-scale run (see EXPERIMENTS.md for the mapping between
+    the two).
+    """
+
+    timeout_seconds: Dict[str, float] = field(default_factory=lambda: {
+        "xilinx-ultrascale-plus": 60.0,
+        "lattice-ecp5": 20.0,
+        "intel-cyclone10lp": 10.0,
+    })
+    extra_cycles: int = 1
+    validate: bool = False
+    template: str = "dsp"
+
+    def timeout_for(self, architecture: str) -> float:
+        return self.timeout_seconds.get(architecture, 60.0)
+
+
+@dataclass
+class MappingRecord:
+    """One (tool, microbenchmark) data point."""
+
+    tool: str
+    architecture: str
+    benchmark: str
+    form: str
+    width: int
+    stages: int
+    signed: bool
+    outcome: str              # "success", "unsat", "timeout", "fail"
+    time_seconds: float
+    dsps: int = 0
+    luts: int = 0
+    registers: int = 0
+
+    @property
+    def mapped(self) -> bool:
+        return self.outcome == "success"
+
+
+def run_lakeroad(benchmarks: Sequence[Microbenchmark],
+                 config: Optional[ExperimentConfig] = None) -> List[MappingRecord]:
+    """Run the Lakeroad mapper over microbenchmarks."""
+    config = config or ExperimentConfig()
+    records: List[MappingRecord] = []
+    for benchmark in benchmarks:
+        design = verilog_to_behavioral(benchmark.verilog)
+        result = map_design(
+            design,
+            template=config.template,
+            arch=benchmark.architecture,
+            timeout_seconds=config.timeout_for(benchmark.architecture),
+            extra_cycles=config.extra_cycles,
+            validate=config.validate,
+        )
+        resources = result.resources
+        records.append(MappingRecord(
+            tool="lakeroad",
+            architecture=benchmark.architecture,
+            benchmark=benchmark.name,
+            form=benchmark.form.name,
+            width=benchmark.width,
+            stages=benchmark.stages,
+            signed=benchmark.signed,
+            outcome=result.status if result.status != "success" else "success",
+            time_seconds=result.time_seconds,
+            dsps=resources.dsps if resources else 0,
+            luts=resources.luts if resources else 0,
+            registers=resources.registers if resources else 0,
+        ))
+    return records
+
+
+def run_baselines(benchmarks: Sequence[Microbenchmark],
+                  tools: Sequence[str] = ("sota", "yosys")) -> List[MappingRecord]:
+    """Run the baseline mappers over microbenchmarks."""
+    records: List[MappingRecord] = []
+    yosys = YosysLikeMapper()
+    for benchmark in benchmarks:
+        design = verilog_to_behavioral(benchmark.verilog)
+        mappers = []
+        if "sota" in tools:
+            mappers.append(sota_for(benchmark.architecture))
+        if "yosys" in tools:
+            mappers.append(yosys)
+        for mapper in mappers:
+            result = mapper.map(design, benchmark.architecture, is_signed=benchmark.signed)
+            records.append(MappingRecord(
+                tool="sota" if mapper is not yosys else "yosys",
+                architecture=benchmark.architecture,
+                benchmark=benchmark.name,
+                form=benchmark.form.name,
+                width=benchmark.width,
+                stages=benchmark.stages,
+                signed=benchmark.signed,
+                outcome="success" if result.mapped_to_single_dsp else "fail",
+                time_seconds=result.time_seconds,
+                dsps=result.resources.dsps,
+                luts=result.resources.luts,
+                registers=result.resources.registers,
+            ))
+    return records

@@ -1,0 +1,34 @@
+"""Verilog-subset frontend and semantics extraction.
+
+This subpackage plays Yosys's role in the original Lakeroad toolchain:
+
+* :mod:`repro.hdl.lexer` / :mod:`repro.hdl.parser` / :mod:`repro.hdl.ast` --
+  a Verilog-2005 subset sufficient for the vendor simulation models shipped
+  in :mod:`repro.vendor` and for the behavioral microbenchmark modules;
+* :mod:`repro.hdl.elaborate` -- width inference and module elaboration into
+  a word-level netlist;
+* :mod:`repro.hdl.btor` -- a btor2-style word-level transition-system IR
+  (sorts, inputs, states, next functions), mirroring the paper's
+  Yosys→btor2 step;
+* :mod:`repro.hdl.extract` -- semantics extraction: Verilog module →
+  transition system → behavioral ℒlr program (what the paper's §4.4 does
+  with btor2→Racket);
+* :mod:`repro.hdl.behavioral` -- import of behavioral design fragments into
+  ℒbeh (the "input 1" path);
+* :mod:`repro.hdl.simulator` -- a cycle-accurate simulator used for
+  post-synthesis validation (the paper's Verilator step).
+"""
+
+from repro.hdl.ast import ModuleDecl
+from repro.hdl.behavioral import verilog_to_behavioral
+from repro.hdl.extract import extract_semantics
+from repro.hdl.parser import parse_verilog
+from repro.hdl.simulator import Simulator
+
+__all__ = [
+    "ModuleDecl",
+    "parse_verilog",
+    "extract_semantics",
+    "verilog_to_behavioral",
+    "Simulator",
+]

@@ -1,0 +1,188 @@
+"""Abstract syntax tree for the supported Verilog subset.
+
+The subset covers what the vendor simulation models and the behavioral
+microbenchmark modules need: ANSI-style module headers, parameters,
+wire/reg declarations, continuous assignments, and ``always @(posedge clk)``
+blocks with non-blocking assignments and ``if``/``else``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expr", "Number", "Identifier", "Unary", "Binary", "Ternary", "Concat",
+    "Replicate", "Select", "Statement", "NonBlockingAssign", "BlockingAssign",
+    "IfStatement", "Port", "Parameter", "NetDecl", "ContinuousAssign",
+    "AlwaysBlock", "ModuleDecl", "SourceFile",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A literal, e.g. ``16'h00ff`` (width is None for unsized decimals)."""
+
+    value: int
+    width: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # ~ - ! & | ^
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * & | ^ ~^ << >> >>> < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    parts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Replicate(Expr):
+    count: int
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Bit or part select: ``x[hi:lo]`` (``hi == lo`` for a bit select)."""
+
+    operand: Expr
+    high: Expr
+    low: Expr
+
+
+# --------------------------------------------------------------------------- #
+# Statements (inside always blocks)
+# --------------------------------------------------------------------------- #
+class Statement:
+    """Base class for procedural statements."""
+
+
+@dataclass(frozen=True)
+class NonBlockingAssign(Statement):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class BlockingAssign(Statement):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    condition: Expr
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+
+# --------------------------------------------------------------------------- #
+# Module items
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Port:
+    name: str
+    direction: str  # "input" or "output"
+    width: int
+    is_reg: bool = False
+    is_signed: bool = False
+
+
+@dataclass(frozen=True)
+class Parameter:
+    name: str
+    default: int
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    kind: str  # "wire" or "reg"
+    name: str
+    width: int
+    init: Optional[Expr] = None
+    is_signed: bool = False
+
+
+@dataclass(frozen=True)
+class ContinuousAssign:
+    target: str
+    value: Expr
+    # Optional part-select on the target, e.g. ``assign y[3:0] = ...``.
+    high: Optional[int] = None
+    low: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AlwaysBlock:
+    """``always @(posedge <clock>) begin ... end``."""
+
+    clock: str
+    body: Tuple[Statement, ...]
+
+
+@dataclass
+class ModuleDecl:
+    """A parsed Verilog module."""
+
+    name: str
+    ports: List[Port] = field(default_factory=list)
+    parameters: List[Parameter] = field(default_factory=list)
+    nets: List[NetDecl] = field(default_factory=list)
+    assigns: List[ContinuousAssign] = field(default_factory=list)
+    always_blocks: List[AlwaysBlock] = field(default_factory=list)
+    source_lines: int = 0
+
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"module {self.name} has no port {name!r}")
+
+    def input_ports(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "input"]
+
+    def output_ports(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "output"]
+
+
+@dataclass
+class SourceFile:
+    """All modules parsed from one source text."""
+
+    modules: List[ModuleDecl] = field(default_factory=list)
+
+    def module(self, name: str) -> ModuleDecl:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"no module named {name!r}")

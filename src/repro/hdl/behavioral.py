@@ -1,0 +1,85 @@
+"""Importing behavioral design fragments ("input 1") into ℒbeh.
+
+The behavioral import path is the same extraction pipeline used for vendor
+models — parse, elaborate, convert — because a behavioral design is just a
+Verilog module without primitive instantiations.  The only extra work here
+is picking the output port and reporting the design's pipeline depth (the
+number of register stages between inputs and the output), which the
+Lakeroad driver uses as the default synthesis timestep ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.lang import Program, RegNode
+from repro.core.sublang import is_behavioral
+from repro.core.wellformed import check_well_formed
+from repro.hdl.extract import extract_semantics
+
+__all__ = ["BehavioralDesign", "verilog_to_behavioral", "pipeline_depth"]
+
+
+@dataclass
+class BehavioralDesign:
+    """A behavioral design imported from Verilog."""
+
+    name: str
+    program: Program
+    input_widths: Dict[str, int]
+    output_name: str
+    output_width: int
+    pipeline_depth: int
+    verilog: str
+
+
+def pipeline_depth(program: Program) -> int:
+    """The longest chain of registers from any input to the root.
+
+    This is the number of clock cycles after which the design's output
+    first reflects its inputs, and therefore the natural choice of ``t``
+    for ``f_lr``.
+    """
+    depth_cache: Dict[int, int] = {}
+
+    def depth(node_id: int) -> int:
+        if node_id in depth_cache:
+            return depth_cache[node_id]
+        node = program[node_id]
+        if isinstance(node, RegNode):
+            # Mark before recursing so register feedback loops terminate.
+            depth_cache[node_id] = 0
+            value = 1 + depth(node.data)
+        else:
+            inputs = node.inputs()
+            value = max((depth(i) for i in inputs), default=0)
+        depth_cache[node_id] = value
+        return value
+
+    return depth(program.root)
+
+
+def verilog_to_behavioral(source: str, module_name: Optional[str] = None,
+                          output: Optional[str] = None) -> BehavioralDesign:
+    """Parse and import a behavioral Verilog module into ℒbeh."""
+    program, system = extract_semantics(source, module_name, output)
+    if not is_behavioral(program):
+        raise ValueError("the imported design is not in the behavioral fragment ℒbeh")
+    check_well_formed(program)
+
+    output_names = list(system.outputs)
+    chosen_output = output if output is not None else output_names[0]
+    output_width = program[program.root].width
+    # The design's inputs exclude the clock (registers model clocking).
+    input_widths = {name: width for name, width in system.inputs.items()
+                    if name.lower() not in ("clk", "clock")}
+    return BehavioralDesign(
+        name=system.name,
+        program=program,
+        input_widths=input_widths,
+        output_name=chosen_output,
+        output_width=output_width,
+        pipeline_depth=pipeline_depth(program),
+        verilog=source,
+    )

@@ -1,0 +1,126 @@
+"""Semantics extraction from HDL (Section 4.4 of the paper).
+
+Given a Verilog module (typically a vendor-provided simulation model), this
+module produces a *behavioral ℒlr program* whose free variables are the
+module's input ports and whose root is the module's output, with registers
+captured as ``Reg`` nodes.  The pipeline is the paper's, with our own
+substrates standing in for Yosys:
+
+    Verilog text --parse--> AST --elaborate--> transition system (btor2-like)
+                 --convert--> ℒbeh program
+
+The resulting program is exactly what a Prim node carries as its semantics,
+so "importing a primitive" is a single call to :func:`extract_semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.bv.ast import BVExpr
+from repro.core.lang import Program, ProgramBuilder
+from repro.hdl.btor import TransitionSystem
+from repro.hdl.elaborate import elaborate
+from repro.hdl.parser import parse_module
+
+__all__ = ["extract_semantics", "transition_system_to_program", "expr_to_nodes"]
+
+
+def expr_to_nodes(expr: BVExpr, builder: ProgramBuilder,
+                  leaves: Mapping[str, int],
+                  cache: Optional[Dict[BVExpr, int]] = None) -> int:
+    """Convert a solver bitvector expression into ℒlr nodes.
+
+    ``leaves`` maps variable names to existing node ids (inputs or register
+    nodes).  Returns the id of the node representing ``expr``.
+    """
+    if cache is None:
+        cache = {}
+    for node in expr.iter_dag():
+        if node in cache:
+            continue
+        if node.op == "const":
+            cache[node] = builder.const(node.value, node.width)
+        elif node.op == "var":
+            if node.name not in leaves:
+                raise KeyError(f"expression references unknown signal {node.name!r}")
+            cache[node] = leaves[node.name]
+        elif node.op == "extract":
+            hi, lo = node.params
+            cache[node] = builder.op("extract", [cache[node.args[0]]], node.width,
+                                     params=(hi, lo))
+        else:
+            operand_ids = [cache[arg] for arg in node.args]
+            cache[node] = builder.op(node.op, operand_ids, node.width)
+    return cache[expr]
+
+
+def transition_system_to_program(system: TransitionSystem,
+                                 output: Optional[str] = None) -> Program:
+    """Convert a transition system into a behavioral ℒlr program.
+
+    Registers become ``Reg`` nodes whose data inputs are the next-state
+    expressions; the chosen output becomes the program root.
+    """
+    builder = ProgramBuilder()
+    leaves: Dict[str, int] = {}
+
+    # Inputs become Var nodes.
+    for name, width in system.inputs.items():
+        leaves[name] = builder.var(name, width)
+
+    # States become Reg nodes.  A register's data input is its next-state
+    # expression, which may reference other registers (including itself), so
+    # we allocate placeholder constants first and patch the Reg nodes after
+    # all next-state expressions have been converted.
+    from repro.core.lang import RegNode
+
+    state_ids: Dict[str, int] = {}
+    for name, (width, init) in system.states.items():
+        # Temporarily allocate the Reg with a dummy data input pointing at a
+        # constant; we patch it below once the real data node exists.
+        placeholder = builder.const(init, width)
+        reg_id = builder.reg(placeholder, init, width)
+        state_ids[name] = reg_id
+        leaves[name] = reg_id
+
+    cache: Dict[BVExpr, int] = {}
+    for name, (width, init) in system.states.items():
+        data_id = expr_to_nodes(system.next_functions[name], builder, leaves, cache)
+        reg_id = state_ids[name]
+        builder.nodes[reg_id] = RegNode(data_id, init, width)
+
+    output_expr = system.output(output)
+    root = expr_to_nodes(output_expr, builder, leaves, cache)
+    return _prune_unreachable(builder.build(root))
+
+
+def _prune_unreachable(program: Program) -> Program:
+    """Drop nodes not reachable from the root (unused inputs such as ``clk``,
+    and the placeholder constants used while wiring register feedback)."""
+    reachable = set()
+    stack = [program.root]
+    while stack:
+        node_id = stack.pop()
+        if node_id in reachable:
+            continue
+        reachable.add(node_id)
+        stack.extend(program[node_id].inputs())
+    kept = {node_id: node for node_id, node in program.nodes.items() if node_id in reachable}
+    return Program(program.root, kept)
+
+
+def extract_semantics(verilog_source: str, module_name: Optional[str] = None,
+                      output: Optional[str] = None,
+                      parameter_overrides: Optional[Mapping[str, int]] = None
+                      ) -> Tuple[Program, TransitionSystem]:
+    """Extract solver-ready semantics from a Verilog module.
+
+    Returns both the behavioral ℒlr program (for use as Prim semantics) and
+    the intermediate transition system (for inspection/testing, mirroring
+    the paper's btor2 artifact).
+    """
+    module = parse_module(verilog_source, module_name)
+    system = elaborate(module, parameter_overrides)
+    program = transition_system_to_program(system, output)
+    return program, system

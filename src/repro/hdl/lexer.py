@@ -1,0 +1,101 @@
+"""Tokenizer for the supported Verilog subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "tokenize", "LexError"]
+
+
+class LexError(ValueError):
+    """Raised on an unrecognised character sequence."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "id", "number", "sized_number", "string", "symbol", "keyword"
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "signed",
+    "parameter", "localparam", "assign", "always", "posedge", "negedge",
+    "begin", "end", "if", "else", "case", "endcase", "default", "integer",
+    "generate", "endgenerate", "genvar", "for", "initial", "function",
+    "endfunction",
+}
+
+# Multi-character symbols, longest first so the regex prefers them.
+_SYMBOLS = [
+    "<<<", ">>>", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~^", "^~",
+    "**", "+:", "-:",
+    "(", ")", "[", "]", "{", "}", ";", ",", ".", ":", "?", "@", "#", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<attr>\(\*.*?\*\))
+  | (?P<sized>\d*\s*'\s*[sS]?[bodhBODH]\s*[0-9a-fA-FxXzZ_?]+)
+  | (?P<number>\d[\d_]*)
+  | (?P<string>"[^"]*")
+  | (?P<id>[A-Za-z_$][A-Za-z0-9_$]*|\\[^\s]+)
+  | (?P<symbol>""" + "|".join(re.escape(s) for s in _SYMBOLS) + r""")
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize Verilog source text; comments and attributes are discarded."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position:position + 20]
+            raise LexError(f"line {line}: cannot tokenize near {snippet!r}")
+        kind = match.lastgroup
+        value = match.group()
+        line += value.count("\n")
+        position = match.end()
+        if kind in ("ws", "comment", "attr"):
+            continue
+        if kind == "sized":
+            tokens.append(Token("sized_number", value.replace(" ", ""), line))
+        elif kind == "number":
+            tokens.append(Token("number", value, line))
+        elif kind == "string":
+            tokens.append(Token("string", value[1:-1], line))
+        elif kind == "id":
+            text_value = value[1:] if value.startswith("\\") else value
+            token_kind = "keyword" if text_value in KEYWORDS else "id"
+            tokens.append(Token(token_kind, text_value, line))
+        else:
+            tokens.append(Token("symbol", value, line))
+    return tokens
+
+
+def parse_sized_number(text: str) -> tuple[int, int]:
+    """Parse a sized literal like ``16'h00ff`` into ``(value, width)``.
+
+    ``x``/``z`` digits are converted to 0, matching the paper's requirement
+    that models be adjusted to 2-state logic before extraction.
+    """
+    match = re.match(r"(\d*)'[sS]?([bodhBODH])([0-9a-fA-FxXzZ_?]+)", text)
+    if match is None:
+        raise LexError(f"malformed sized literal: {text!r}")
+    width_text, base_char, digits = match.groups()
+    digits = digits.replace("_", "").replace("?", "0")
+    digits = re.sub(r"[xXzZ]", "0", digits)
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char.lower()]
+    value = int(digits, base) if digits else 0
+    width = int(width_text) if width_text else 32
+    return value & ((1 << width) - 1), width

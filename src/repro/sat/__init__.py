@@ -1,0 +1,20 @@
+"""SAT solving substrate.
+
+The original Lakeroad races four industrial SMT/SAT solvers (Bitwuzla, cvc5,
+Yices2 and STP).  This reproduction ships its own engines:
+
+* :class:`repro.sat.solver.CDCLSolver` -- conflict-driven clause learning
+  with two-watched-literal propagation, VSIDS branching, first-UIP clause
+  learning, Luby restarts and phase saving.
+* :class:`repro.sat.dpll.DPLLSolver`   -- a simple DPLL with unit
+  propagation, used as a portfolio member and as a cross-check oracle in the
+  test suite.
+* :mod:`repro.sat.portfolio`           -- utilities for racing strategies
+  under a shared deadline.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+from repro.sat.solver import CDCLSolver, SatResult
+
+__all__ = ["CNF", "CDCLSolver", "DPLLSolver", "SatResult"]

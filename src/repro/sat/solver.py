@@ -1,0 +1,379 @@
+"""A CDCL SAT solver.
+
+This is the main engine behind the reproduction's QF_BV solving (the role
+Bitwuzla/STP/Yices2 play in the paper's portfolio).  It implements the
+standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* exponential VSIDS activity-based branching with phase saving,
+* Luby-sequence restarts,
+* deadline support so callers can impose per-query timeouts (the paper's
+  120 s / 40 s / 20 s per-architecture synthesis budgets).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF
+
+__all__ = ["CDCLSolver", "SatResult"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call."""
+
+    status: str  # "sat", "unsat", or "unknown"
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    time_seconds: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == "unknown"
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT solver over a :class:`CNF`."""
+
+    def __init__(self, cnf: CNF, deadline: Optional[float] = None) -> None:
+        self.cnf = cnf
+        self.deadline = deadline
+        self.num_vars = cnf.num_vars
+
+        # Clause database: list of clauses (lists of literals).
+        self.clauses: List[List[int]] = []
+        # Watches: literal -> clause indices watching it.
+        self.watches: Dict[int, List[int]] = {}
+        # Assignment: var -> bool, plus trail bookkeeping.
+        self.assignment: Dict[int, bool] = {}
+        self.level: Dict[int, int] = {}
+        self.reason: Dict[int, Optional[int]] = {}
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.propagation_head = 0
+
+        # VSIDS with a lazy max-heap of (negated activity, var).
+        self.activity: Dict[int, float] = {v: 0.0 for v in range(1, self.num_vars + 1)}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.phase: Dict[int, bool] = {}
+        self._order_heap: List[Tuple[float, int]] = [(0.0, v) for v in range(1, self.num_vars + 1)]
+        heapq.heapify(self._order_heap)
+
+        self.stats = SatResult(status="unknown")
+        self._ok = True
+
+        for clause in cnf.clauses:
+            if not self._add_clause(list(clause)):
+                self._ok = False
+                break
+
+    # ------------------------------------------------------------------ #
+    # Clause database
+    # ------------------------------------------------------------------ #
+    def _add_clause(self, clause: List[int], learnt: bool = False) -> bool:
+        clause = list(dict.fromkeys(clause))
+        if any(-lit in clause for lit in clause):
+            return True  # tautology
+        if not clause:
+            return False
+        if len(clause) == 1:
+            return self._enqueue(clause[0], None)
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(index)
+        self.watches.setdefault(clause[1], []).append(index)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Assignment / trail
+    # ------------------------------------------------------------------ #
+    def _value(self, lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self.assignment:
+            return None
+        value = self.assignment[var]
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason_clause: Optional[int]) -> bool:
+        current = self._value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self.assignment[var] = lit > 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason_clause
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.propagation_head < len(self.trail):
+            lit = self.trail[self.propagation_head]
+            self.propagation_head += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watch_list = self.watches.get(false_lit, [])
+            new_watch_list: List[int] = []
+            i = 0
+            conflict: Optional[int] = None
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self.clauses[clause_index]
+                # Ensure the false literal is in position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watch_list.append(clause_index)
+                if self._value(first) is False:
+                    # Conflict: copy the remaining watches back and report.
+                    new_watch_list.extend(watch_list[i:])
+                    conflict = clause_index
+                    break
+                self._enqueue(first, clause_index)
+            self.watches[false_lit] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
+        learnt: List[int] = []
+        seen: Dict[int, bool] = {}
+        counter = 0
+        lit = None
+        clause = list(self.clauses[conflict_index])
+        trail_index = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for q in clause:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen.get(var) and self.level.get(var, 0) > 0:
+                    seen[var] = True
+                    self._bump_activity(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Find the next literal on the trail to resolve on.
+            while True:
+                lit = self.trail[trail_index]
+                trail_index -= 1
+                if seen.get(abs(lit)):
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[abs(lit)]
+            clause = list(self.clauses[reason_index]) if reason_index is not None else []
+        learnt.insert(0, -lit)
+
+        if len(learnt) == 1:
+            backjump_level = 0
+        else:
+            levels = sorted((self.level[abs(q)] for q in learnt[1:]), reverse=True)
+            backjump_level = levels[0]
+        return learnt, backjump_level
+
+    def _bump_activity(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        if self.activity[var] > 1e100:
+            for v in self.activity:
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+            self._order_heap = [(-self.activity[v], v) for v in self.activity
+                                if v not in self.assignment]
+            heapq.heapify(self._order_heap)
+        else:
+            heapq.heappush(self._order_heap, (-self.activity[var], var))
+
+    def _decay_activity(self) -> None:
+        self.var_inc /= self.var_decay
+
+    # ------------------------------------------------------------------ #
+    # Backtracking
+    # ------------------------------------------------------------------ #
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in reversed(self.trail[boundary:]):
+            var = abs(lit)
+            self.phase[var] = self.assignment[var]
+            del self.assignment[var]
+            del self.level[var]
+            self.reason.pop(var, None)
+            heapq.heappush(self._order_heap, (-self.activity.get(var, 0.0), var))
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.propagation_head = min(self.propagation_head, len(self.trail))
+
+    # ------------------------------------------------------------------ #
+    # Branching
+    # ------------------------------------------------------------------ #
+    def _pick_branch_variable(self) -> Optional[int]:
+        # Lazy-deletion heap: entries may be stale (already assigned or with
+        # an outdated activity); pop until a fresh unassigned entry appears.
+        while self._order_heap:
+            negated_activity, var = heapq.heappop(self._order_heap)
+            if var in self.assignment:
+                continue
+            if -negated_activity != self.activity.get(var, 0.0):
+                heapq.heappush(self._order_heap, (-self.activity.get(var, 0.0), var))
+                continue
+            return var
+        # Heap exhausted: fall back to a linear scan (rare).
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assignment:
+                return var
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        start = time.monotonic()
+        self.stats = SatResult(status="unknown")
+        if not self._ok:
+            self.stats.status = "unsat"
+            return self.stats
+
+        conflict = self._propagate()
+        if conflict is not None:
+            self.stats.status = "unsat"
+            self.stats.time_seconds = time.monotonic() - start
+            return self.stats
+
+        for lit in assumptions:
+            if self._value(lit) is False:
+                self.stats.status = "unsat"
+                self.stats.time_seconds = time.monotonic() - start
+                return self.stats
+            if self._value(lit) is None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self.stats.status = "unsat"
+                    self.stats.time_seconds = time.monotonic() - start
+                    return self.stats
+        assumption_level = self._decision_level()
+
+        restart_count = 1
+        conflicts_until_restart = 32 * _luby(restart_count)
+        conflicts_since_restart = 0
+        check_counter = 0
+
+        while True:
+            check_counter += 1
+            if self.deadline is not None and check_counter % 64 == 0:
+                if time.monotonic() > self.deadline:
+                    self.stats.status = "unknown"
+                    self.stats.time_seconds = time.monotonic() - start
+                    return self.stats
+
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() <= assumption_level:
+                    self.stats.status = "unsat"
+                    self.stats.time_seconds = time.monotonic() - start
+                    return self.stats
+                learnt, backjump_level = self._analyze(conflict)
+                backjump_level = max(backjump_level, assumption_level)
+                self._cancel_until(backjump_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(index)
+                    self.watches.setdefault(learnt[1], []).append(index)
+                    self._enqueue(learnt[0], index)
+                self._decay_activity()
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                self.stats.restarts += 1
+                restart_count += 1
+                conflicts_until_restart = 32 * _luby(restart_count)
+                conflicts_since_restart = 0
+                self._cancel_until(assumption_level)
+                continue
+
+            branch_var = self._pick_branch_variable()
+            if branch_var is None:
+                model = {var: self.assignment[var] for var in range(1, self.num_vars + 1)
+                         if var in self.assignment}
+                for var in range(1, self.num_vars + 1):
+                    model.setdefault(var, False)
+                self.stats.status = "sat"
+                self.stats.model = model
+                self.stats.time_seconds = time.monotonic() - start
+                return self.stats
+
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            preferred_phase = self.phase.get(branch_var, False)
+            self._enqueue(branch_var if preferred_phase else -branch_var, None)
+
+
+def solve_cnf(cnf: CNF, deadline: Optional[float] = None,
+              assumptions: Sequence[int] = ()) -> SatResult:
+    """One-shot convenience wrapper around :class:`CDCLSolver`."""
+    return CDCLSolver(cnf, deadline=deadline).solve(assumptions)

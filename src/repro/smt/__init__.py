@@ -1,0 +1,24 @@
+"""Word-level QF_BV solving, equivalence checking and CEGIS synthesis.
+
+This subpackage is the reproduction's stand-in for Rosette's solver-aided
+queries: :mod:`repro.smt.solver` decides satisfiability of bitvector
+constraints, :mod:`repro.smt.equivalence` decides equivalence of two
+bitvector expressions (the verification side of synthesis), and
+:mod:`repro.smt.cegis` implements the exists-forall synthesis query of
+Section 3.3 by counterexample-guided inductive synthesis.
+"""
+
+from repro.smt.cegis import CegisResult, synthesize
+from repro.smt.equivalence import EquivalenceResult, check_equivalence
+from repro.smt.model import Model
+from repro.smt.solver import SmtResult, check_sat
+
+__all__ = [
+    "Model",
+    "SmtResult",
+    "check_sat",
+    "EquivalenceResult",
+    "check_equivalence",
+    "CegisResult",
+    "synthesize",
+]

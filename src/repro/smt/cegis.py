@@ -1,0 +1,197 @@
+"""Counterexample-guided inductive synthesis (CEGIS).
+
+The paper's synthesis query (Section 3.3) is an exists-forall problem:
+
+    ∃ holes . ∀ inputs . sketch(inputs, holes) = design(inputs)
+
+Rosette discharges this through its symbolic virtual machine and an SMT
+solver; this reproduction uses the classic CEGIS loop instead, which only
+ever issues quantifier-free queries to the underlying solver:
+
+* the *candidate* step asks for hole values consistent with a finite set of
+  concrete input examples (a query over hole variables only);
+* the *verification* step checks the candidate against the specification on
+  all inputs (an equivalence query over input variables only) and, on
+  failure, adds the counterexample to the example set.
+
+Both steps honour a deadline so the caller can reproduce the paper's
+per-query synthesis timeouts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bv import bv, bvand, bveq
+from repro.bv.ast import BVExpr
+from repro.bv.eval import var_widths
+from repro.bv.simplify import substitute
+from repro.smt.equivalence import check_equivalence
+from repro.smt.solver import SmtSolver, check_sat
+
+__all__ = ["CegisResult", "Obligation", "synthesize"]
+
+
+@dataclass
+class Obligation:
+    """One equality the synthesized program must satisfy for all inputs."""
+
+    spec: BVExpr
+    sketch: BVExpr
+
+    def __post_init__(self) -> None:
+        if self.spec.width != self.sketch.width:
+            raise ValueError(
+                f"obligation width mismatch: spec {self.spec.width} vs sketch {self.sketch.width}"
+            )
+
+
+@dataclass
+class CegisResult:
+    """Outcome of a synthesis attempt."""
+
+    status: str  # "sat", "unsat", "unknown"
+    hole_values: Optional[Dict[str, int]] = None
+    iterations: int = 0
+    examples_used: int = 0
+    time_seconds: float = 0.0
+    candidate_strategy: str = "none"
+    verify_strategy: str = "none"
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "sat"
+
+
+def _collect_inputs(obligations: Sequence[Obligation],
+                    hole_widths: Mapping[str, int]) -> Dict[str, int]:
+    """Free variables of the obligations that are not holes (i.e. inputs)."""
+    inputs: Dict[str, int] = {}
+    for obligation in obligations:
+        for expr in (obligation.spec, obligation.sketch):
+            for name, width in var_widths(expr).items():
+                if name in hole_widths:
+                    continue
+                existing = inputs.get(name)
+                if existing is not None and existing != width:
+                    raise ValueError(f"input {name!r} used at widths {existing} and {width}")
+                inputs[name] = width
+    return inputs
+
+
+def _initial_examples(input_widths: Mapping[str, int], rng: random.Random,
+                      count: int) -> List[Dict[str, int]]:
+    examples = [
+        {name: 0 for name in input_widths},
+        {name: (1 << width) - 1 for name, width in input_widths.items()},
+        {name: 1 for name in input_widths},
+    ]
+    for _ in range(count):
+        examples.append({name: rng.getrandbits(width) for name, width in input_widths.items()})
+    # Drop duplicates while preserving order.
+    unique: List[Dict[str, int]] = []
+    for example in examples:
+        if example not in unique:
+            unique.append(example)
+    return unique
+
+
+def synthesize(obligations: Sequence[Obligation] | Obligation,
+               hole_widths: Mapping[str, int],
+               hole_constraints: Sequence[BVExpr] = (),
+               deadline: Optional[float] = None,
+               max_iterations: int = 64,
+               seed: int = 0,
+               solver: Optional[SmtSolver] = None,
+               initial_random_examples: int = 2) -> CegisResult:
+    """Solve ``∃ holes . ∀ inputs . ⋀ spec_i = sketch_i`` by CEGIS.
+
+    Args:
+        obligations: equalities to enforce (one per checked timestep).
+        hole_widths: the hole variables (name -> width) to solve for.
+        hole_constraints: extra 1-bit constraints over hole variables (the
+            architecture description's "additional constraints").
+        deadline: absolute ``time.monotonic`` cutoff, or None.
+        max_iterations: CEGIS round limit (a safety net; the hole space is
+            finite so the loop terminates regardless).
+        seed: RNG seed for the initial examples.
+        solver: optional shared :class:`SmtSolver`.
+    """
+    start = time.monotonic()
+    if isinstance(obligations, Obligation):
+        obligations = [obligations]
+    obligations = list(obligations)
+    if not obligations:
+        raise ValueError("at least one obligation is required")
+
+    rng = random.Random(seed)
+    input_widths = _collect_inputs(obligations, hole_widths)
+    examples = _initial_examples(input_widths, rng, initial_random_examples)
+
+    result = CegisResult(status="unknown")
+    constraints_base = list(hole_constraints)
+
+    for iteration in range(1, max_iterations + 1):
+        result.iterations = iteration
+        result.examples_used = len(examples)
+        if deadline is not None and time.monotonic() > deadline:
+            result.status = "unknown"
+            break
+
+        # ---------------- candidate step ---------------- #
+        candidate_constraints: List[BVExpr] = list(constraints_base)
+        for example in examples:
+            bindings = {name: bv(value, input_widths[name]) for name, value in example.items()}
+            for obligation in obligations:
+                spec_value = substitute(obligation.spec, bindings)
+                sketch_value = substitute(obligation.sketch, bindings)
+                candidate_constraints.append(bveq(sketch_value, spec_value))
+        candidate = check_sat(candidate_constraints, deadline=deadline, solver=solver)
+        result.candidate_strategy = candidate.strategy
+        if candidate.is_unsat:
+            # No hole assignment satisfies even the finite example set, so no
+            # assignment satisfies the full forall: the sketch cannot
+            # implement the design.
+            result.status = "unsat"
+            break
+        if candidate.is_unknown:
+            result.status = "unknown"
+            break
+
+        hole_values = {name: candidate.model.get(name, 0) for name in hole_widths}
+        hole_bindings = {name: bv(value, hole_widths[name])
+                         for name, value in hole_values.items()}
+
+        # ---------------- verification step ---------------- #
+        verified = True
+        for obligation in obligations:
+            concrete_sketch = substitute(obligation.sketch, hole_bindings)
+            equivalence = check_equivalence(concrete_sketch, obligation.spec,
+                                            deadline=deadline, solver=solver)
+            result.verify_strategy = equivalence.strategy
+            if equivalence.is_equivalent:
+                continue
+            verified = False
+            if equivalence.is_unknown:
+                result.status = "unknown"
+                result.time_seconds = time.monotonic() - start
+                return result
+            counterexample = {name: equivalence.counterexample.get(name, 0)
+                              for name in input_widths}
+            if counterexample in examples:
+                # The candidate solver found a spurious model (should not
+                # happen); avoid looping forever on the same example.
+                raise RuntimeError("CEGIS made no progress: repeated counterexample")
+            examples.append(counterexample)
+            break
+
+        if verified:
+            result.status = "sat"
+            result.hole_values = hole_values
+            break
+
+    result.time_seconds = time.monotonic() - start
+    return result

@@ -1,0 +1,80 @@
+"""Equivalence checking of word-level expressions (the synthesis verifier).
+
+Given two expressions over the same free variables, builds the miter
+``lhs != rhs`` and decides it with the layered strategy of
+:mod:`repro.smt.solver`.  The fast path matters: after the smart-constructor
+rewriting, a correctly configured FPGA primitive usually collapses to the
+very same DAG as the specification, so most verification calls never reach
+the SAT solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.bv import bvne
+from repro.bv.ast import BVExpr
+from repro.bv.eval import var_widths
+from repro.smt.model import Model
+from repro.smt.solver import SmtSolver, check_sat
+
+__all__ = ["EquivalenceResult", "check_equivalence"]
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence query between two expressions."""
+
+    status: str  # "equivalent", "different", "unknown"
+    counterexample: Optional[Model] = None
+    strategy: str = "none"
+    time_seconds: float = 0.0
+
+    @property
+    def is_equivalent(self) -> bool:
+        return self.status == "equivalent"
+
+    @property
+    def is_different(self) -> bool:
+        return self.status == "different"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == "unknown"
+
+
+def check_equivalence(lhs: BVExpr, rhs: BVExpr,
+                      deadline: Optional[float] = None,
+                      solver: Optional[SmtSolver] = None) -> EquivalenceResult:
+    """Decide whether ``lhs`` and ``rhs`` agree on every input assignment."""
+    start = time.monotonic()
+    if lhs.width != rhs.width:
+        raise ValueError(f"cannot compare widths {lhs.width} and {rhs.width}")
+
+    # Structural fast path: interning makes identical DAGs the same object.
+    if lhs is rhs:
+        return EquivalenceResult("equivalent", strategy="structural",
+                                 time_seconds=time.monotonic() - start)
+
+    miter = bvne(lhs, rhs)
+    if miter.is_const():
+        status = "different" if miter.value else "equivalent"
+        return EquivalenceResult(status, strategy="normalise",
+                                 time_seconds=time.monotonic() - start)
+
+    result = check_sat(miter, deadline=deadline, solver=solver)
+    elapsed = time.monotonic() - start
+    if result.is_unknown:
+        return EquivalenceResult("unknown", strategy=result.strategy, time_seconds=elapsed)
+    if result.is_unsat:
+        return EquivalenceResult("equivalent", strategy=result.strategy, time_seconds=elapsed)
+
+    # SAT: the model only covers variables in the miter's support; fill the
+    # rest with zeros so callers can evaluate both sides directly.
+    widths: Dict[str, int] = {}
+    widths.update(var_widths(lhs))
+    widths.update(var_widths(rhs))
+    values = {name: result.model.get(name, 0) for name in widths}
+    return EquivalenceResult("different", Model(values, widths), result.strategy, elapsed)

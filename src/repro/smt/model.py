@@ -1,0 +1,40 @@
+"""Satisfying assignments for word-level queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+__all__ = ["Model"]
+
+
+class Model:
+    """A satisfying assignment: variable name -> unsigned integer value."""
+
+    def __init__(self, values: Mapping[str, int], widths: Mapping[str, int]) -> None:
+        self._values: Dict[str, int] = dict(values)
+        self._widths: Dict[str, int] = dict(widths)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def width(self, name: str) -> int:
+        return self._widths[name]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v:#x}" for k, v in sorted(self._values.items()))
+        return f"Model({pairs})"

@@ -1,0 +1,128 @@
+"""Satisfiability of word-level bitvector constraints.
+
+``check_sat`` takes one or more 1-bit expressions (treated as a
+conjunction), simplifies them, and decides satisfiability with a layered
+strategy that mirrors the paper's solver portfolio:
+
+1. *normalise* -- the smart-constructor rewriting may already reduce the
+   conjunction to a constant;
+2. *simulate*  -- a short burst of random concrete assignments looks for an
+   easy satisfying assignment (the cheap way to answer SAT queries);
+3. *bit-blast + SAT portfolio* -- the complete decision procedure.
+
+Every entry point accepts a ``deadline`` (an absolute ``time.monotonic``
+value); queries that exceed it report ``unknown``, which the synthesis
+driver surfaces as the paper's "timeout" outcome.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bv import bvand, bvvar
+from repro.bv.ast import BVExpr
+from repro.bv.bitblast import BitBlaster
+from repro.bv.cnf import aig_to_cnf
+from repro.bv.eval import evaluate, var_widths
+from repro.sat.portfolio import SatPortfolio
+from repro.smt.model import Model
+
+__all__ = ["SmtResult", "check_sat", "SmtSolver"]
+
+
+@dataclass
+class SmtResult:
+    """Outcome of a word-level satisfiability query."""
+
+    status: str  # "sat", "unsat", "unknown"
+    model: Optional[Model] = None
+    strategy: str = "none"  # which layer decided the query
+    time_seconds: float = 0.0
+    sat_conflicts: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == "unknown"
+
+
+class SmtSolver:
+    """A configurable word-level solver instance."""
+
+    def __init__(self, random_probes: int = 32, seed: int = 0,
+                 portfolio: Optional[SatPortfolio] = None) -> None:
+        self.random_probes = random_probes
+        self.rng = random.Random(seed)
+        self.portfolio = portfolio if portfolio is not None else SatPortfolio()
+
+    # ------------------------------------------------------------------ #
+    def check(self, constraints: Sequence[BVExpr],
+              deadline: Optional[float] = None) -> SmtResult:
+        start = time.monotonic()
+        for constraint in constraints:
+            if constraint.width != 1:
+                raise ValueError("constraints must be 1-bit expressions")
+
+        formula = bvand(*constraints) if len(constraints) > 1 else constraints[0]
+
+        # Layer 1: normalisation.
+        if formula.is_const():
+            status = "sat" if formula.value else "unsat"
+            model = Model({}, {}) if status == "sat" else None
+            return SmtResult(status, model, "normalise", time.monotonic() - start)
+
+        widths = var_widths(formula)
+
+        # Layer 2: random probing for an easy SAT answer.
+        for _ in range(self.random_probes):
+            if deadline is not None and time.monotonic() > deadline:
+                return SmtResult("unknown", None, "timeout", time.monotonic() - start)
+            assignment = {name: self.rng.getrandbits(width) for name, width in widths.items()}
+            if evaluate(formula, assignment):
+                return SmtResult("sat", Model(assignment, widths), "simulate",
+                                 time.monotonic() - start)
+
+        # Layer 3: bit-blast and hand to the SAT portfolio.
+        blaster = BitBlaster()
+        bits = blaster.blast(formula)
+        cnf, input_vars = aig_to_cnf(blaster.aig, bits)
+        sat_result, winner = self.portfolio.solve(cnf, deadline=deadline)
+        elapsed = time.monotonic() - start
+        if sat_result.is_unknown:
+            return SmtResult("unknown", None, "timeout", elapsed, sat_result.conflicts)
+        if sat_result.is_unsat:
+            return SmtResult("unsat", None, f"sat:{winner}", elapsed, sat_result.conflicts)
+
+        values: Dict[str, int] = {name: 0 for name in widths}
+        for bit_name, cnf_var in input_vars.items():
+            if not sat_result.model.get(cnf_var, False):
+                continue
+            var_name, _, index_part = bit_name.rpartition("[")
+            bit_index = int(index_part[:-1])
+            if var_name in values:
+                values[var_name] |= 1 << bit_index
+        return SmtResult("sat", Model(values, widths), f"sat:{winner}", elapsed,
+                         sat_result.conflicts)
+
+
+_DEFAULT_SOLVER = SmtSolver()
+
+
+def check_sat(constraints: Sequence[BVExpr] | BVExpr,
+              deadline: Optional[float] = None,
+              solver: Optional[SmtSolver] = None) -> SmtResult:
+    """Decide satisfiability of a constraint (or conjunction of constraints)."""
+    if isinstance(constraints, BVExpr):
+        constraints = [constraints]
+    active = solver if solver is not None else _DEFAULT_SOLVER
+    return active.check(list(constraints), deadline=deadline)

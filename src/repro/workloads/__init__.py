@@ -1,0 +1,17 @@
+"""Microbenchmark workloads reproducing the paper's design enumeration."""
+
+from repro.workloads.generator import (
+    Microbenchmark,
+    WorkloadSpec,
+    enumerate_workloads,
+    workload_counts,
+    sample_workloads,
+)
+
+__all__ = [
+    "Microbenchmark",
+    "WorkloadSpec",
+    "enumerate_workloads",
+    "workload_counts",
+    "sample_workloads",
+]

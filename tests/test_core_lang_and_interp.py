@@ -1,0 +1,299 @@
+"""Tests for ℒlr: syntax, well-formedness, interpretation, sublanguages."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bv import bv, evaluate
+from repro.bv.eval import var_widths
+from repro.core.interp import (
+    ConcreteInterpreter,
+    SymbolicInterpreter,
+    hole_variable_name,
+    input_variable_name,
+    interpret,
+    symbolic_output,
+)
+from repro.core.lang import (
+    BVNode,
+    HoleNode,
+    OpNode,
+    PrimMetadata,
+    PrimNode,
+    Program,
+    ProgramBuilder,
+    RegNode,
+    VarNode,
+)
+from repro.core.sketch import Sketch, clone_program, fill_holes
+from repro.core.sublang import classify, is_behavioral, is_sketch, is_structural
+from repro.core.transform import fold_constants, prune_unreachable, simplify_structural
+from repro.core.wellformed import WellFormednessError, check_well_formed, is_well_formed
+
+
+def _counter_design(width=8):
+    """out <= out + a (an accumulator with register feedback)."""
+    builder = ProgramBuilder()
+    a = builder.var("a", width)
+    # Allocate the register with a placeholder, then patch the feedback.
+    placeholder = builder.const(0, width)
+    reg = builder.reg(placeholder, 0, width)
+    total = builder.op("add", [reg, a], width)
+    builder.nodes[reg] = RegNode(total, 0, width)
+    return builder.build(reg)
+
+
+def _pipeline_design(width=8, stages=2):
+    builder = ProgramBuilder()
+    a = builder.var("a", width)
+    b = builder.var("b", width)
+    value = builder.op("mul", [builder.op("add", [a, b], width), b], width)
+    for _ in range(stages):
+        value = builder.reg(value, 0, width)
+    return builder.build(value)
+
+
+class TestProgramStructure:
+    def test_free_vars(self):
+        program = _pipeline_design()
+        assert program.free_vars() == frozenset({"a", "b"})
+
+    def test_var_widths(self):
+        assert _pipeline_design(width=5).var_widths() == {"a": 5, "b": 5}
+
+    def test_builder_rejects_unknown_operator(self):
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        with pytest.raises(ValueError):
+            builder.op("frobnicate", [a], 4)
+
+    def test_builder_rejects_foreign_root(self):
+        builder = ProgramBuilder()
+        builder.var("a", 4)
+        with pytest.raises(ValueError):
+            builder.build(999999999)
+
+    def test_node_count_includes_subprograms(self):
+        inner_builder = ProgramBuilder()
+        x = inner_builder.var("x", 4)
+        inner = inner_builder.build(inner_builder.op("not", [x], 4))
+        outer_builder = ProgramBuilder()
+        a = outer_builder.var("a", 4)
+        prim = outer_builder.prim({"x": a}, inner, 4, PrimMetadata("INV"))
+        program = outer_builder.build(prim)
+        assert program.node_count() == len(program.nodes) + len(inner.nodes)
+
+    def test_holes_discovered_recursively(self):
+        builder = ProgramBuilder()
+        hole = builder.hole("H", 4)
+        program = builder.build(hole)
+        assert set(program.holes()) == {"H"}
+
+
+class TestWellFormedness:
+    def test_valid_program(self):
+        witness = check_well_formed(_pipeline_design())
+        assert all(weight >= 0 for weight in witness.values())
+
+    def test_register_feedback_is_allowed(self):
+        assert is_well_formed(_counter_design())
+
+    def test_w1_root_must_exist(self):
+        program = Program(root=12345, nodes={1: BVNode(0, 4)})
+        with pytest.raises(WellFormednessError) as excinfo:
+            check_well_formed(program)
+        assert excinfo.value.condition == "W1"
+
+    def test_w3_dangling_reference(self):
+        program = Program(root=1, nodes={1: OpNode("add", (2, 3), 4)})
+        with pytest.raises(WellFormednessError) as excinfo:
+            check_well_formed(program)
+        assert excinfo.value.condition == "W3"
+
+    def test_w5_prim_binding_mismatch(self):
+        inner_builder = ProgramBuilder()
+        x = inner_builder.var("x", 4)
+        inner = inner_builder.build(inner_builder.op("not", [x], 4))
+        outer_builder = ProgramBuilder()
+        a = outer_builder.var("a", 4)
+        prim = outer_builder.prim({"y": a}, inner, 4)  # binds 'y', sem needs 'x'
+        with pytest.raises(WellFormednessError) as excinfo:
+            check_well_formed(outer_builder.build(prim))
+        assert excinfo.value.condition == "W5"
+
+    def test_w6_combinational_loop_detected(self):
+        nodes = {1: OpNode("add", (1, 2), 4), 2: BVNode(1, 4)}
+        program = Program(root=1, nodes=nodes)
+        with pytest.raises(WellFormednessError) as excinfo:
+            check_well_formed(program)
+        assert excinfo.value.condition == "W6"
+
+    def test_w2_shared_semantics_program_rejected(self):
+        inner_builder = ProgramBuilder()
+        x = inner_builder.var("x", 4)
+        inner = inner_builder.build(inner_builder.op("not", [x], 4))
+        outer_builder = ProgramBuilder()
+        a = outer_builder.var("a", 4)
+        p1 = outer_builder.prim({"x": a}, inner, 4)
+        p2 = outer_builder.prim({"x": p1}, inner, 4)  # same semantics object
+        with pytest.raises(WellFormednessError) as excinfo:
+            check_well_formed(outer_builder.build(p2))
+        assert excinfo.value.condition == "W2"
+
+
+class TestSublanguages:
+    def test_behavioral_fragment(self):
+        assert is_behavioral(_pipeline_design())
+        assert classify(_pipeline_design()) == "behavioral"
+
+    def test_structural_fragment(self):
+        inner_builder = ProgramBuilder()
+        x = inner_builder.var("x", 4)
+        inner = inner_builder.build(inner_builder.op("not", [x], 4))
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        prim = builder.prim({"x": a}, inner, 4, PrimMetadata("INV"))
+        program = builder.build(prim)
+        assert is_structural(program)
+        assert not is_behavioral(program)
+
+    def test_sketch_fragment_allows_holes(self):
+        builder = ProgramBuilder()
+        hole = builder.hole("H", 4)
+        program = builder.build(hole)
+        assert is_sketch(program)
+        assert not is_structural(program)
+
+    def test_registers_not_structural(self):
+        assert not is_structural(_pipeline_design())
+
+
+class TestInterpreter:
+    def test_combinational_evaluation(self):
+        program = _pipeline_design(stages=0)
+        env = {"a": lambda t: 3, "b": lambda t: 4}
+        assert interpret(program, env, 0) == ((3 + 4) * 4) & 0xff
+
+    def test_pipeline_latency(self):
+        program = _pipeline_design(stages=2)
+        # Inputs change every cycle; output at t reflects inputs at t-2.
+        env = {"a": [1, 2, 3, 4, 5], "b": [1, 1, 1, 1, 1]}
+        assert interpret(program, env, 2) == (1 + 1) * 1
+        assert interpret(program, env, 3) == (2 + 1) * 1
+
+    def test_register_initial_value(self):
+        program = _pipeline_design(stages=1)
+        env = {"a": [7], "b": [9]}
+        assert interpret(program, env, 0) == 0
+
+    def test_accumulator_feedback(self):
+        program = _counter_design()
+        env = {"a": [1, 2, 3, 4, 5]}
+        # reg@t = sum of a[0..t-1]
+        assert interpret(program, env, 0) == 0
+        assert interpret(program, env, 3) == 1 + 2 + 3
+
+    def test_missing_stream_raises(self):
+        with pytest.raises(KeyError):
+            interpret(_pipeline_design(stages=0), {"a": [1]}, 0)
+
+    def test_hole_cannot_be_interpreted(self):
+        builder = ProgramBuilder()
+        hole = builder.hole("H", 4)
+        with pytest.raises(ValueError):
+            interpret(builder.build(hole), {}, 0)
+
+    def test_prim_node_interpretation(self):
+        inner_builder = ProgramBuilder()
+        x = inner_builder.var("x", 8)
+        y = inner_builder.var("y", 8)
+        inner = inner_builder.build(inner_builder.op("mul", [x, y], 8))
+        builder = ProgramBuilder()
+        a = builder.var("a", 8)
+        b = builder.var("b", 8)
+        prim = builder.prim({"x": a, "y": b}, inner, 8, PrimMetadata("MUL"))
+        program = builder.build(prim)
+        assert interpret(program, {"a": [6], "b": [7]}, 0) == 42
+
+    def test_symbolic_matches_concrete(self):
+        program = _pipeline_design(stages=2)
+        rng = random.Random(0)
+        symbolic = symbolic_output(program, 3)
+        for _ in range(10):
+            streams = {"a": [rng.getrandbits(8) for _ in range(4)],
+                       "b": [rng.getrandbits(8) for _ in range(4)]}
+            env = {input_variable_name(name, t): streams[name][t]
+                   for name in streams for t in range(4)}
+            bound = {k: v for k, v in env.items() if k in var_widths(symbolic)}
+            assert evaluate(symbolic, bound) == interpret(program, streams, 3)
+
+    def test_symbolic_hole_names(self):
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        hole = builder.hole("CONFIG", 4)
+        program = builder.build(builder.op("add", [a, hole], 4))
+        symbolic = symbolic_output(program, 0)
+        assert hole_variable_name("CONFIG") in var_widths(symbolic)
+
+
+class TestSketchAndTransform:
+    def test_fill_holes_produces_constants(self):
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        hole = builder.hole("K", 4)
+        program = builder.build(builder.op("add", [a, hole], 4))
+        sketch = Sketch(program)
+        filled = fill_holes(sketch, {"K": 9})
+        assert not filled.holes()
+        assert interpret(filled, {"a": [1]}, 0) == 10
+
+    def test_fill_holes_requires_all_values(self):
+        builder = ProgramBuilder()
+        hole = builder.hole("K", 4)
+        sketch = Sketch(builder.build(hole))
+        with pytest.raises(ValueError):
+            fill_holes(sketch, {})
+
+    def test_sketch_reports_hole_widths(self):
+        builder = ProgramBuilder()
+        h1 = builder.hole("A", 4)
+        h2 = builder.hole("B", 2)
+        program = builder.build(builder.op("concat", [h1, h2], 6))
+        sketch = Sketch(program)
+        assert sketch.hole_widths == {"A": 4, "B": 2}
+        assert sketch.configuration_space_bits() == 6
+
+    def test_clone_program_gets_fresh_ids(self):
+        program = _pipeline_design()
+        clone, id_map = clone_program(program)
+        assert set(clone.nodes).isdisjoint(set(program.nodes))
+        assert interpret(clone, {"a": [1, 2, 3], "b": [4, 4, 4]}, 2) == \
+            interpret(program, {"a": [1, 2, 3], "b": [4, 4, 4]}, 2)
+
+    def test_fold_constants_collapses_selection_mux(self):
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        b = builder.var("b", 4)
+        selector = builder.const(1, 1)
+        chosen = builder.op("ite", [selector, a, b], 4)
+        program = builder.build(chosen)
+        folded = simplify_structural(program)
+        # The mux disappears: the root is now the selected input.
+        assert isinstance(folded[folded.root], VarNode)
+        assert folded[folded.root].name == "a"
+
+    def test_fold_constants_evaluates_ops(self):
+        builder = ProgramBuilder()
+        total = builder.op("add", [builder.const(3, 8), builder.const(4, 8)], 8)
+        folded = fold_constants(builder.build(total))
+        assert isinstance(folded[folded.root], BVNode)
+        assert folded[folded.root].value == 7
+
+    def test_prune_keeps_free_variables(self):
+        builder = ProgramBuilder()
+        a = builder.var("a", 4)
+        builder.var("unused", 4)
+        program = builder.build(builder.op("not", [a], 4))
+        pruned = prune_unreachable(program)
+        assert "unused" in pruned.free_vars()

@@ -1,0 +1,218 @@
+"""Tests for the Verilog frontend: lexer, parser, elaboration, extraction,
+btor2 emission and the cycle-accurate simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bv.eval import evaluate
+from repro.core.interp import interpret
+from repro.core.sublang import is_behavioral
+from repro.hdl import Simulator, extract_semantics, parse_verilog, verilog_to_behavioral
+from repro.hdl.btor import to_btor2_text
+from repro.hdl.elaborate import ElaborationError, elaborate
+from repro.hdl.lexer import LexError, parse_sized_number, tokenize
+from repro.hdl.parser import ParseError, parse_module
+
+ADD_MUL_AND = """
+// computes (a+b)*c&d in two clock cycles.
+module add_mul_and(input clk, input [15:0] a, b, c, d,
+                   output reg [15:0] out);
+  reg [15:0] r;
+  always @(posedge clk) begin
+    r <= (a+b)*c&d;
+    out <= r;
+  end
+endmodule
+"""
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("module foo; endmodule")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "module") in kinds
+        assert ("id", "foo") in kinds
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// line comment\n/* block\ncomment */ wire")
+        assert [t.text for t in tokens] == ["wire"]
+
+    def test_attributes_are_skipped(self):
+        tokens = tokenize("(* use_dsp = \"yes\" *) module m; endmodule")
+        assert tokens[0].text == "module"
+
+    def test_sized_literals(self):
+        assert parse_sized_number("16'h00ff") == (0x00ff, 16)
+        assert parse_sized_number("4'b1010") == (0b1010, 4)
+        assert parse_sized_number("32'd7") == (7, 32)
+
+    def test_x_and_z_become_zero(self):
+        value, width = parse_sized_number("4'b1x0z")
+        assert (value, width) == (0b1000, 4)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("module `bad")
+
+
+class TestParser:
+    def test_add_mul_and_structure(self):
+        module = parse_module(ADD_MUL_AND)
+        assert module.name == "add_mul_and"
+        assert [p.name for p in module.input_ports()] == ["clk", "a", "b", "c", "d"]
+        assert module.port("a").width == 16
+        assert module.port("out").direction == "output"
+        assert module.port("out").is_reg
+        assert len(module.always_blocks) == 1
+
+    def test_signed_ports(self):
+        module = parse_module(
+            "module m(input signed [7:0] a, output signed [7:0] y); assign y = a; endmodule")
+        assert module.port("a").is_signed
+
+    def test_parameters(self):
+        module = parse_module(
+            "module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);"
+            " assign y = a; endmodule")
+        assert module.parameters[0].name == "W"
+        assert module.port("a").width == 8
+
+    def test_localparam_in_body(self):
+        module = parse_module(
+            "module m(input [3:0] a, output [3:0] y); localparam K = 3;"
+            " assign y = a + K; endmodule")
+        assert any(p.name == "K" and p.default == 3 for p in module.parameters)
+
+    def test_if_else_statement(self):
+        module = parse_module("""
+            module m(input clk, input [3:0] a, output reg [3:0] y);
+              always @(posedge clk) begin
+                if (a > 4'd3) y <= a; else y <= 4'd0;
+              end
+            endmodule""")
+        assert len(module.always_blocks[0].body) == 1
+
+    def test_concat_and_replication(self):
+        module = parse_module(
+            "module m(input [3:0] a, output [7:0] y); assign y = {2{a[1:0]}, a}; endmodule"
+            .replace("{2{a[1:0]}, a}", "{ {2{a[1:0]}}, a }"))
+        assert module.assigns
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(input a, output y) assign y = a; endmodule")
+
+    def test_multiple_modules(self):
+        parsed = parse_verilog("module a(input x, output y); assign y = x; endmodule\n"
+                               "module b(input x, output y); assign y = x; endmodule")
+        assert [m.name for m in parsed.modules] == ["a", "b"]
+        with pytest.raises(ParseError):
+            parse_module("module a(input x, output y); assign y = x; endmodule\n"
+                         "module b(input x, output y); assign y = x; endmodule")
+
+    def test_source_line_count_excludes_comments(self):
+        module = parse_module(ADD_MUL_AND)
+        assert 0 < module.source_lines < len(ADD_MUL_AND.splitlines())
+
+
+class TestElaboration:
+    def test_combinational_assign(self):
+        module = parse_module(
+            "module m(input [7:0] a, b, output [7:0] y); assign y = a ^ b; endmodule")
+        system = elaborate(module)
+        assert system.is_combinational()
+        assert evaluate(system.output("y"), {"a": 0xAA, "b": 0x0F}) == 0xA5
+
+    def test_narrow_context_still_evaluates_wide(self):
+        module = parse_module(
+            "module m(input [7:0] init, input [2:0] sel, output o);"
+            " assign o = (init >> sel) & 1'b1; endmodule")
+        system = elaborate(module)
+        assert evaluate(system.output("o"), {"init": 0b10000000, "sel": 7}) == 1
+        assert evaluate(system.output("o"), {"init": 0b10000000, "sel": 6}) == 0
+
+    def test_registers_and_next_functions(self):
+        module = parse_module(ADD_MUL_AND)
+        system = elaborate(module)
+        assert set(system.states) == {"r", "out"}
+        assert set(system.inputs) == {"clk", "a", "b", "c", "d"}
+
+    def test_ternary_and_comparison(self):
+        module = parse_module(
+            "module m(input [3:0] a, b, output [3:0] y); assign y = (a < b) ? a : b; endmodule")
+        system = elaborate(module)
+        assert evaluate(system.output("y"), {"a": 2, "b": 9}) == 2
+        assert evaluate(system.output("y"), {"a": 9, "b": 2}) == 2
+
+    def test_signed_comparison_uses_signed_semantics(self):
+        module = parse_module(
+            "module m(input signed [3:0] a, b, output y); assign y = a < b; endmodule")
+        system = elaborate(module)
+        # -1 < 1 in the signed interpretation (0xF is -1).
+        assert evaluate(system.output("y"), {"a": 0xF, "b": 1}) == 1
+
+    def test_undriven_output_raises(self):
+        module = parse_module("module m(input a, output y); wire z; assign z = a; endmodule")
+        with pytest.raises(ElaborationError):
+            elaborate(module)
+
+    def test_double_driven_wire_raises(self):
+        module = parse_module(
+            "module m(input a, output y); assign y = a; assign y = ~a; endmodule")
+        with pytest.raises(ElaborationError):
+            elaborate(module)
+
+    def test_parameter_override(self):
+        module = parse_module(
+            "module m #(parameter K = 1) (input [7:0] a, output [7:0] y);"
+            " assign y = a + K; endmodule")
+        system = elaborate(module, parameter_overrides={"K": 5})
+        assert evaluate(system.output("y"), {"a": 1}) == 6
+
+
+class TestExtractionAndSimulation:
+    def test_behavioral_import(self):
+        design = verilog_to_behavioral(ADD_MUL_AND)
+        assert design.pipeline_depth == 2
+        assert design.input_widths == {"a": 16, "b": 16, "c": 16, "d": 16}
+        assert is_behavioral(design.program)
+
+    def test_interpreter_matches_expression(self):
+        design = verilog_to_behavioral(ADD_MUL_AND)
+        env = {"a": lambda t: 3, "b": lambda t: 5, "c": lambda t: 2, "d": lambda t: 0xffff}
+        assert interpret(design.program, env, 2) == (3 + 5) * 2
+
+    def test_btor2_emission_mentions_states_and_outputs(self):
+        _, system = extract_semantics(ADD_MUL_AND)
+        text = to_btor2_text(system)
+        assert "state" in text and "next" in text and "output" in text
+        assert "sort bitvec 16" in text
+
+    def test_simulator_matches_interpreter(self):
+        design = verilog_to_behavioral(ADD_MUL_AND)
+        _, system = extract_semantics(ADD_MUL_AND)
+        rng = random.Random(1)
+        streams = {name: [rng.getrandbits(16) for _ in range(8)] for name in "abcd"}
+        simulator = Simulator(system)
+        trace = simulator.run(dict(streams, clk=[0] * 8), 8, output="out")
+        for t in range(8):
+            assert trace[t] == interpret(design.program, streams, t)
+
+    def test_simulator_reset(self):
+        _, system = extract_semantics(ADD_MUL_AND)
+        simulator = Simulator(system)
+        simulator.run({"a": [1], "b": [1], "c": [1], "d": [1], "clk": [0]}, 3)
+        simulator.reset()
+        assert simulator.cycle == 0
+        assert all(value == 0 for value in simulator.state.values())
+
+    @given(st.integers(min_value=0, max_value=0xffff), st.integers(min_value=0, max_value=0xffff),
+           st.integers(min_value=0, max_value=0xffff), st.integers(min_value=0, max_value=0xffff))
+    @settings(max_examples=30, deadline=None)
+    def test_extraction_is_consistent_with_pipeline_semantics(self, a, b, c, d):
+        design = verilog_to_behavioral(ADD_MUL_AND)
+        streams = {"a": [a] * 4, "b": [b] * 4, "c": [c] * 4, "d": [d] * 4}
+        expected = ((a + b) * c) & d & 0xffff
+        assert interpret(design.program, streams, 2) == expected

@@ -1,0 +1,182 @@
+"""Tests for the vendor primitive library, YAML parser and architecture
+descriptions."""
+
+import pytest
+
+from repro.arch import available_architectures, load_architecture
+from repro.arch.yamllite import YamlError, loads
+from repro.core.interp import interpret
+from repro.vendor import PrimitiveLibrary, load_primitive
+from repro.vendor.library import KNOWN_PRIMITIVES
+
+
+def _constant_streams(values):
+    return {name: (lambda v: (lambda t: v))(value) for name, value in values.items()}
+
+
+class TestYamlLite:
+    def test_scalars(self):
+        assert loads("a: 3\nb: true\nc: hello\n") == {"a": 3, "b": True, "c": "hello"}
+
+    def test_hex_and_quoted_strings(self):
+        assert loads("a: 0x10\nb: 'text'\n") == {"a": 16, "b": "text"}
+
+    def test_nested_mapping(self):
+        data = loads("outer:\n  inner:\n    value: 1\n")
+        assert data == {"outer": {"inner": {"value": 1}}}
+
+    def test_list_of_scalars(self):
+        assert loads("items:\n  - 1\n  - 2\n") == {"items": [1, 2]}
+
+    def test_list_of_mappings(self):
+        data = loads("items:\n  - name: x\n    width: 4\n  - name: y\n    width: 2\n")
+        assert data["items"] == [{"name": "x", "width": 4}, {"name": "y", "width": 2}]
+
+    def test_inline_collections(self):
+        data = loads("port: { name: A, width: 30 }\nlist: [1, 2, 3]\n")
+        assert data == {"port": {"name": "A", "width": 30}, "list": [1, 2, 3]}
+
+    def test_comments_ignored(self):
+        assert loads("# header\na: 1  # trailing\n") == {"a": 1}
+
+    def test_malformed_inline_map(self):
+        with pytest.raises(YamlError):
+            loads("a: { broken\n")
+
+
+class TestVendorLibrary:
+    def test_every_known_primitive_imports(self):
+        library = PrimitiveLibrary()
+        for name in library.available():
+            model = library.load(name)
+            assert model.semantics.node_count() > 0
+            assert model.source_lines > 0
+
+    def test_cache_returns_same_object(self):
+        library = PrimitiveLibrary()
+        assert library.load("LUT6") is library.load("LUT6")
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(KeyError):
+            PrimitiveLibrary().load("NOT_A_PRIMITIVE")
+
+    def test_table1_rows_cover_all_primitives(self):
+        rows = PrimitiveLibrary().table1_rows()
+        assert {row["primitive"] for row in rows} == set(KNOWN_PRIMITIVES)
+
+    def test_lut6_semantics(self):
+        lut = load_primitive("LUT6").semantics
+        env = _constant_streams({"I0": 1, "I1": 1, "I2": 0, "I3": 0, "I4": 0, "I5": 0,
+                                 "INIT": 1 << 3})
+        assert interpret(lut, env, 0) == 1
+
+    def test_frac_lut4_mode_zero(self):
+        lut = load_primitive("frac_lut4").semantics
+        env = _constant_streams({"in": 5, "mode": 0, "sram": 1 << 5})
+        assert interpret(lut, env, 0) == 1
+
+    def test_carry8_adds(self):
+        carry = load_primitive("CARRY8").semantics
+        # S = a ^ b, DI = a implements a + b on the carry chain.
+        a, b = 0x57, 0x23
+        env = _constant_streams({"S": a ^ b, "DI": a, "CI": 0})
+        assert interpret(carry, env, 0) == (a + b) & 0xff
+
+    def test_mac_mult_combinational(self):
+        mult = load_primitive("cyclone10lp_mac_mult").semantics
+        env = _constant_streams({"dataa": 100, "datab": 200, "REG_INPUTA": 0,
+                                 "REG_INPUTB": 0, "REG_OUTPUT": 0})
+        assert interpret(mult, env, 0) == 20000
+
+    def test_mac_mult_registered_latency(self):
+        mult = load_primitive("cyclone10lp_mac_mult").semantics
+        env = _constant_streams({"dataa": 7, "datab": 9, "REG_INPUTA": 1,
+                                 "REG_INPUTB": 1, "REG_OUTPUT": 1})
+        assert interpret(mult, env, 0) == 0
+        assert interpret(mult, env, 2) == 63
+
+
+class TestDsp48e2Model:
+    def _env(self, **overrides):
+        base = {"A": 0, "B": 0, "C": 0, "D": 0, "OPMODE": 0, "ALUMODE": 0, "CARRYIN": 0,
+                "AREG": 0, "BREG": 0, "CREG": 0, "DREG": 0, "ADREG": 0, "MREG": 0,
+                "PREG": 0, "AMULTSEL": 0, "BMULTSEL": 0, "PREADDINSEL": 0,
+                "USE_PREADD": 0, "PREADD_SUB": 0}
+        base.update(overrides)
+        return _constant_streams(base)
+
+    def test_plain_multiply(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=12, B=11, OPMODE=0b000000101)
+        assert interpret(dsp, env, 0) == 132
+
+    def test_preadd_multiply_and(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=5, B=3, C=0xff, D=2, OPMODE=0b000110101, ALUMODE=0b1100,
+                        AMULTSEL=1, USE_PREADD=1)
+        assert interpret(dsp, env, 0) == ((2 + 5) * 3) & 0xff
+
+    def test_preadd_subtract(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=5, B=3, D=9, OPMODE=0b000000101, AMULTSEL=1,
+                        USE_PREADD=1, PREADD_SUB=1)
+        assert interpret(dsp, env, 0) == (9 - 5) * 3
+
+    def test_multiply_minus_c(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=10, B=10, C=30, OPMODE=0b000110101, ALUMODE=0b0001)
+        assert interpret(dsp, env, 0) == 100 - 30
+
+    def test_fully_pipelined_latency_three(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=6, B=7, OPMODE=0b000000101, AREG=1, BREG=1, MREG=1, PREG=1)
+        assert interpret(dsp, env, 2) == 0
+        assert interpret(dsp, env, 3) == 42
+
+    def test_two_stage_a_pipeline(self):
+        dsp = load_primitive("DSP48E2").semantics
+        env = self._env(A=6, B=7, OPMODE=0b000000101, AREG=2, BREG=2, PREG=1)
+        assert interpret(dsp, env, 3) == 42
+
+
+class TestArchitectureDescriptions:
+    def test_four_architectures_available(self):
+        assert set(available_architectures()) == {
+            "intel-cyclone10lp", "lattice-ecp5", "sofa", "xilinx-ultrascale-plus"}
+
+    def test_aliases(self):
+        assert load_architecture("xilinx").name == "xilinx-ultrascale-plus"
+        assert load_architecture("ecp5").name == "lattice-ecp5"
+
+    def test_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            load_architecture("virtex-2-pro")
+
+    def test_xilinx_dsp_internal_data(self):
+        arch = load_architecture("xilinx-ultrascale-plus")
+        dsp = arch.implementation("DSP")
+        assert dsp.module == "DSP48E2"
+        assert "OPMODE" in dsp.internal_data
+        assert dsp.internal_data["OPMODE"] == 9
+        assert dsp.output_port == "P"
+        assert dsp.clock == "clk"
+
+    def test_sofa_has_no_dsp(self):
+        arch = load_architecture("sofa")
+        assert not arch.implements("DSP")
+        assert arch.lut_size() == 4
+
+    def test_interface_inputs_used(self):
+        sofa_lut = load_architecture("sofa").implementation("LUT")
+        assert set(sofa_lut.interface_inputs_used()) == {"I0", "I1", "I2", "I3"}
+
+    def test_description_sizes_are_small(self):
+        """Architecture descriptions stay tens-to-hundreds of lines (§5.2)."""
+        for name in available_architectures():
+            assert load_architecture(name).source_lines < 250
+
+    def test_every_description_module_is_importable(self):
+        library = PrimitiveLibrary()
+        for name in available_architectures():
+            for impl in load_architecture(name).implementations:
+                assert impl.module in library.available()
