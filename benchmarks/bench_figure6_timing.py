@@ -6,6 +6,8 @@ shape holds: baseline pattern matchers are fast and flat, Lakeroad's
 synthesis times are larger and highly variable.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.harness.experiments import figure6_timing, render_timing_table
@@ -14,8 +16,11 @@ from repro.harness.runner import run_baselines, run_lakeroad
 
 @pytest.mark.benchmark(group="figure6-timing")
 def test_figure6_timing_lattice(benchmark, experiment_config, lattice_benchmarks):
+    # Timing must measure cold synthesis, not hits on a warm session cache.
+    config = dataclasses.replace(experiment_config, use_cache=False)
+
     def run():
-        records = run_lakeroad(lattice_benchmarks, experiment_config)
+        records = run_lakeroad(lattice_benchmarks, config)
         records += run_baselines(lattice_benchmarks)
         return figure6_timing({"lattice-ecp5": records})
 
@@ -28,8 +33,10 @@ def test_figure6_timing_lattice(benchmark, experiment_config, lattice_benchmarks
 
 @pytest.mark.benchmark(group="figure6-timing")
 def test_figure6_timing_intel(benchmark, experiment_config, intel_benchmarks):
+    config = dataclasses.replace(experiment_config, use_cache=False)
+
     def run():
-        records = run_lakeroad(intel_benchmarks, experiment_config)
+        records = run_lakeroad(intel_benchmarks, config)
         records += run_baselines(intel_benchmarks)
         return figure6_timing({"intel-cyclone10lp": records})
 

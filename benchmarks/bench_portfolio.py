@@ -11,6 +11,7 @@ from collections import Counter
 
 import pytest
 
+from repro.engine.session import MappingSession
 from repro.harness.runner import run_lakeroad
 from repro.hdl.behavioral import verilog_to_behavioral
 from repro.lakeroad import map_design
@@ -19,6 +20,11 @@ from repro.lakeroad import map_design
 @pytest.mark.benchmark(group="portfolio")
 def test_portfolio_strategy_wins(benchmark, experiment_config,
                                  intel_benchmarks, lattice_benchmarks):
+    # A private uncached session: strategy-win statistics must come from
+    # solver runs, not from hits on the default session's synthesis cache
+    # warmed by earlier benchmarks.
+    session = MappingSession(enable_cache=False)
+
     def run():
         candidate_wins, verify_wins = Counter(), Counter()
         for bench in list(intel_benchmarks) + list(lattice_benchmarks):
@@ -26,7 +32,7 @@ def test_portfolio_strategy_wins(benchmark, experiment_config,
             result = map_design(design, arch=bench.architecture,
                                 timeout_seconds=experiment_config.timeout_for(
                                     bench.architecture),
-                                validate=False)
+                                validate=False, session=session)
             if result.synthesis is not None:
                 candidate_wins[result.synthesis.candidate_strategy] += 1
                 verify_wins[result.synthesis.verify_strategy] += 1

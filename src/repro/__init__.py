@@ -10,6 +10,9 @@ and every substrate it depends on, in pure Python:
 * :mod:`repro.vendor` -- vendor-style primitive simulation models.
 * :mod:`repro.arch` -- architecture descriptions and their loader.
 * :mod:`repro.core` -- the Lakeroad IR, sketch templates and synthesis engine.
+* :mod:`repro.engine` -- the mapping-engine layer: budgets, solver-backend
+  registry, synthesis cache and the :class:`~repro.engine.MappingSession`
+  that owns the map-one-design lifecycle.
 * :mod:`repro.baselines` -- yosys-like and simulated proprietary mappers.
 * :mod:`repro.workloads` -- the paper's microbenchmark enumeration.
 * :mod:`repro.harness` -- experiment runners for every table and figure.
@@ -28,6 +31,7 @@ __all__ = [
     "map_design",
     "map_verilog",
     "LakeroadResult",
+    "MappingSession",
     "__version__",
 ]
 
@@ -41,4 +45,8 @@ def __getattr__(name):
         if name == "lakeroad":
             return module
         return getattr(module, name)
+    if name == "MappingSession":
+        from repro.engine.session import MappingSession
+
+        return MappingSession
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

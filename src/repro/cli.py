@@ -3,6 +3,10 @@
 Usage mirrors the paper::
 
     lakeroad --template dsp --arch-desc xilinx-ultrascale-plus add_mul_and.v
+
+The CLI is a thin shell over :class:`repro.engine.MappingSession`, which
+owns the budget policy, the racing solver portfolio and the synthesis
+cache.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from pathlib import Path
 
 from repro.arch import available_architectures
 from repro.core.templates import available_templates
-from repro.lakeroad import map_verilog
+from repro.engine.session import MappingSession
 
 __all__ = ["main", "build_parser"]
 
@@ -38,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the structural Verilog here (default: stdout)")
     parser.add_argument("--no-validate", action="store_true",
                         help="skip post-synthesis simulation validation")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the session's synthesis cache")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache and solver-portfolio statistics")
     return parser
 
 
@@ -49,7 +57,8 @@ def main(argv=None) -> int:
         parser.error(f"no such file: {args.verilog}")
     source = source_path.read_text()
 
-    result = map_verilog(
+    session = MappingSession(enable_cache=not args.no_cache)
+    result = session.map_verilog(
         source,
         template=args.template,
         arch=args.arch_desc,
@@ -60,6 +69,9 @@ def main(argv=None) -> int:
     )
 
     print(f"status: {result.status} ({result.time_seconds:.2f}s)", file=sys.stderr)
+    if args.stats:
+        print(f"cache: {session.cache_stats()}", file=sys.stderr)
+        print(f"portfolio wins: {session.portfolio_wins()}", file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)

@@ -27,6 +27,7 @@ from repro.core.sketch import Sketch, fill_holes
 from repro.core.sublang import is_behavioral, is_structural, is_sketch
 from repro.core.transform import simplify_structural
 from repro.core.wellformed import check_well_formed
+from repro.engine.budget import Budget
 from repro.smt.cegis import CegisResult, Obligation, synthesize
 from repro.smt.solver import SmtSolver
 
@@ -64,11 +65,19 @@ def _build_obligations(sketch: Sketch, design: Program, at_time: int,
 def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
               timeout_seconds: Optional[float] = None,
               solver: Optional[SmtSolver] = None,
-              check_inputs: bool = True) -> SynthesisOutcome:
+              check_inputs: bool = True,
+              budget: Optional[Budget] = None) -> SynthesisOutcome:
     """Synthesize a ``t``-cycle implementation of ``design`` guided by ``sketch``,
-    equivalent over the window ``at_time .. at_time + cycles``."""
+    equivalent over the window ``at_time .. at_time + cycles``.
+
+    The time budget can be given either as a started :class:`Budget` (the
+    mapping session's, so sketch-generation time already counts against it)
+    or as a plain ``timeout_seconds`` convenience.
+    """
     start = time.monotonic()
-    deadline = start + timeout_seconds if timeout_seconds is not None else None
+    if budget is None:
+        budget = Budget(timeout_seconds=timeout_seconds)
+    budget.start()
 
     if check_inputs:
         if not is_behavioral(design):
@@ -88,7 +97,7 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         obligations,
         hole_widths=hole_widths,
         hole_constraints=list(sketch.hole_constraints),
-        deadline=deadline,
+        budget=budget,
         solver=solver,
     )
 
@@ -117,7 +126,8 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
 
 def f_lr(sketch: Sketch, design: Program, at_time: int,
          timeout_seconds: Optional[float] = None,
-         solver: Optional[SmtSolver] = None) -> SynthesisOutcome:
+         solver: Optional[SmtSolver] = None,
+         budget: Optional[Budget] = None) -> SynthesisOutcome:
     """``f_lr(Ψ, d, t)``: single-timestep synthesis (Section 3.1)."""
     return f_lr_star(sketch, design, at_time, cycles=0,
-                     timeout_seconds=timeout_seconds, solver=solver)
+                     timeout_seconds=timeout_seconds, solver=solver, budget=budget)

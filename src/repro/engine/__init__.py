@@ -1,0 +1,65 @@
+"""The unified mapping-engine layer.
+
+* :mod:`repro.engine.budget`   -- the single Budget/Outcome model: one
+  definition of the ``sat``/``unsat``/``unknown`` and
+  ``success``/``unsat``/``timeout`` vocabularies and of the
+  per-architecture synthesis timeouts.
+* :mod:`repro.engine.backends` -- the pluggable solver-backend registry the
+  SAT portfolio races.
+* :mod:`repro.engine.cache`    -- the keyed, memoizing synthesis cache.
+* :mod:`repro.engine.session`  -- :class:`MappingSession`, which owns the
+  whole map-one-design lifecycle (§2.2) and the shared state above.
+
+``session`` is imported lazily: it depends on the synthesis stack, which in
+turn imports :mod:`repro.engine.budget`, and eager re-export would create
+an import cycle.
+"""
+
+from repro.engine.backends import (
+    SolverBackend,
+    available_backends,
+    backend_by_name,
+    default_backend_names,
+    register_backend,
+    unregister_backend,
+)
+from repro.engine.budget import (
+    DEFAULT_TIMEOUTS,
+    Budget,
+    laptop_timeouts,
+    mapping_status,
+    timeout_for,
+)
+from repro.engine.cache import SynthesisCache, program_fingerprint
+
+__all__ = [
+    "Budget",
+    "DEFAULT_TIMEOUTS",
+    "laptop_timeouts",
+    "mapping_status",
+    "timeout_for",
+    "SolverBackend",
+    "register_backend",
+    "unregister_backend",
+    "backend_by_name",
+    "available_backends",
+    "default_backend_names",
+    "SynthesisCache",
+    "program_fingerprint",
+    # Lazily resolved (see __getattr__):
+    "LakeroadResult",
+    "MappingSession",
+    "default_session",
+    "reset_default_session",
+]
+
+_SESSION_EXPORTS = ("LakeroadResult", "MappingSession", "default_session",
+                    "reset_default_session")
+
+
+def __getattr__(name):
+    if name in _SESSION_EXPORTS:
+        from repro.engine import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

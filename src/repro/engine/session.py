@@ -1,0 +1,281 @@
+"""The mapping engine: one session object owns the map-one-design lifecycle.
+
+A :class:`MappingSession` ties together everything a ``lakeroad``
+invocation needs — the vendor primitive library, the solver portfolio, the
+synthesis cache and the budget policy — and exposes ``map_design`` /
+``map_verilog``.  The three-step flow of §2.2 (sketch generation → program
+synthesis → compilation) lives in :meth:`MappingSession.map_design`;
+``repro.lakeroad`` keeps the historical functional API as thin wrappers
+over a default session.
+
+Sessions replace the old module-level ``_SHARED_LIBRARY`` singleton: the
+library (and every other stateful component) is owned and injectable, so
+harness sweeps can share one warm session while tests build isolated ones.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.arch import ArchDescription, load_architecture
+from repro.core.interp import interpret
+from repro.core.lang import Program
+from repro.core.lower import LoweredDesign, ResourceCount, lower_to_verilog
+from repro.core.sketch_gen import DesignInterface, SketchGenerationError, generate_sketch
+from repro.core.synthesis import SynthesisOutcome, f_lr_star
+from repro.engine import budget as budget_mod
+from repro.engine.budget import Budget
+from repro.engine.cache import SynthesisCache, program_fingerprint
+from repro.hdl.behavioral import BehavioralDesign, verilog_to_behavioral
+from repro.sat.portfolio import SatPortfolio
+from repro.smt.solver import SmtSolver
+from repro.vendor.library import PrimitiveLibrary
+
+__all__ = ["LakeroadResult", "MappingSession", "default_session", "reset_default_session"]
+
+
+@dataclass
+class LakeroadResult:
+    """Outcome of one Lakeroad mapping attempt.
+
+    ``status`` is one of ``"success"`` (a structural implementation was
+    produced), ``"unsat"`` (the sketch provably cannot implement the
+    design), or ``"timeout"`` — the mapping-level vocabulary of
+    :mod:`repro.engine.budget`.
+    """
+
+    status: str
+    design_name: str
+    architecture: str
+    template: str
+    time_seconds: float
+    program: Optional[Program] = None
+    verilog: Optional[str] = None
+    resources: Optional[ResourceCount] = None
+    hole_values: Dict[str, int] = field(default_factory=dict)
+    synthesis: Optional[SynthesisOutcome] = None
+    validated: Optional[bool] = None
+    #: Whether this result was served from the session's synthesis cache.
+    cache_hit: bool = False
+    #: Session-level cache counters at the time this result was produced.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == budget_mod.SUCCESS
+
+
+def _resolve_arch(arch) -> ArchDescription:
+    if isinstance(arch, ArchDescription):
+        return arch
+    return load_architecture(str(arch))
+
+
+def _isolated_copy(result: LakeroadResult) -> LakeroadResult:
+    """A copy of a result whose mutable fields are detached.
+
+    The cache and its callers must not alias anything a caller might
+    plausibly mutate: the counters, ``hole_values``, the resource report
+    and the synthesis outcome are copied.  ``program`` graphs are shared —
+    nodes are frozen dataclasses and programs are treated as immutable
+    throughout the codebase.
+    """
+    return replace(
+        result,
+        hole_values=dict(result.hole_values),
+        resources=replace(result.resources) if result.resources is not None else None,
+        synthesis=replace(result.synthesis,
+                          hole_values=dict(result.synthesis.hole_values))
+        if result.synthesis is not None else None,
+    )
+
+
+def _validate_by_simulation(candidate: Program, design: BehavioralDesign,
+                            at_time: int, cycles: int, seed: int = 0,
+                            trials: int = 16) -> bool:
+    """Cross-check a synthesized program against the design on random stimulus.
+
+    This mirrors the paper's Verilator validation step: although the output
+    is correct by construction, we simulate both programs on random input
+    streams and compare the outputs over the checked window.
+    """
+    rng = random.Random(seed)
+    horizon = at_time + cycles + 1
+    for _ in range(trials):
+        streams = {
+            name: [rng.getrandbits(width) for _ in range(horizon)]
+            for name, width in design.input_widths.items()
+        }
+        for t in range(at_time, at_time + cycles + 1):
+            if interpret(candidate, streams, t) != interpret(design.program, streams, t):
+                return False
+    return True
+
+
+class MappingSession:
+    """Owns the full map-one-design lifecycle and its shared state.
+
+    Components are injectable for testing and for alternative deployments
+    (e.g. a shared cache across harness shards); by default a session
+    creates its own primitive library, a concurrent SAT portfolio, a word
+    level solver wired to that portfolio, and a bounded synthesis cache.
+    """
+
+    def __init__(self,
+                 library: Optional[PrimitiveLibrary] = None,
+                 portfolio: Optional[SatPortfolio] = None,
+                 solver: Optional[SmtSolver] = None,
+                 cache: Optional[SynthesisCache] = None,
+                 enable_cache: bool = True) -> None:
+        self.library = library if library is not None else PrimitiveLibrary()
+        if portfolio is None and solver is not None:
+            # Adopt the injected solver's portfolio so portfolio_wins()
+            # reports the races that actually ran.
+            portfolio = solver.portfolio
+        self.portfolio = portfolio if portfolio is not None else SatPortfolio()
+        self.solver = solver if solver is not None else SmtSolver(portfolio=self.portfolio)
+        self.cache = cache if cache is not None else SynthesisCache()
+        self.enable_cache = enable_cache
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> Dict[str, int]:
+        return self.cache.stats()
+
+    def portfolio_wins(self) -> Dict[str, int]:
+        return self.portfolio.win_counts()
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+    def budget_for(self, architecture: str,
+                   timeout_seconds: Optional[float] = None) -> Budget:
+        """The budget one mapping attempt gets on this session."""
+        return Budget.for_architecture(architecture, override=timeout_seconds)
+
+    def map_verilog(self, source: str, template: str = "dsp",
+                    arch="xilinx-ultrascale-plus",
+                    module_name: Optional[str] = None,
+                    timeout_seconds: Optional[float] = None,
+                    budget: Optional[Budget] = None,
+                    extra_cycles: int = 1,
+                    validate: bool = True) -> LakeroadResult:
+        """Map a behavioral Verilog module (the §2.2 entry point)."""
+        design = verilog_to_behavioral(source, module_name)
+        return self.map_design(design, template=template, arch=arch,
+                               timeout_seconds=timeout_seconds, budget=budget,
+                               extra_cycles=extra_cycles, validate=validate)
+
+    def map_design(self, design: BehavioralDesign, template: str = "dsp",
+                   arch="xilinx-ultrascale-plus",
+                   timeout_seconds: Optional[float] = None,
+                   budget: Optional[Budget] = None,
+                   extra_cycles: int = 1,
+                   validate: bool = True,
+                   use_cache: Optional[bool] = None) -> LakeroadResult:
+        """Map an imported behavioral design onto the target architecture."""
+        start = time.monotonic()
+        architecture = _resolve_arch(arch)
+        # A caller-supplied budget that is already running has an unknown
+        # amount of its window left, so its results are not comparable to a
+        # fresh run with the same configured timeout — never cache those.
+        externally_started = budget is not None and budget.started
+        if budget is None:
+            budget = self.budget_for(architecture.name, timeout_seconds)
+        budget.start()
+
+        caching = (self.enable_cache if use_cache is None else use_cache) \
+            and not externally_started
+        cache_key = None
+        if caching:
+            cache_key = SynthesisCache.key(
+                program_fingerprint(design.program), architecture.name, template,
+                budget.key(), extra_cycles, validate)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                stats = self.cache.stats()
+                hit = _isolated_copy(cached)
+                hit.cache_hit = True
+                hit.cache_hits = stats["hits"]
+                hit.cache_misses = stats["misses"]
+                hit.time_seconds = time.monotonic() - start
+                return hit
+
+        result = self._map_cold(design, template, architecture, budget,
+                                extra_cycles, validate, start)
+        stats = self.cache.stats()
+        result.cache_hits = stats["hits"]
+        result.cache_misses = stats["misses"]
+        # Timeouts are the one wall-clock-dependent status: caching one
+        # would make a transient environmental hiccup sticky for the whole
+        # session, so only definitive outcomes (success/unsat) are stored.
+        if caching and cache_key is not None and result.status != budget_mod.TIMEOUT:
+            self.cache.put(cache_key, _isolated_copy(result))
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _map_cold(self, design: BehavioralDesign, template: str,
+                  architecture: ArchDescription, budget: Budget,
+                  extra_cycles: int, validate: bool,
+                  start: float) -> LakeroadResult:
+        """The §2.2 three-step flow: sketch → synthesis → compilation."""
+        interface = DesignInterface(input_widths=dict(design.input_widths),
+                                   output_width=design.output_width)
+        try:
+            sketch = generate_sketch(template, architecture, interface, self.library)
+        except SketchGenerationError:
+            return LakeroadResult(
+                status=budget_mod.UNSAT, design_name=design.name,
+                architecture=architecture.name, template=template,
+                time_seconds=time.monotonic() - start)
+
+        at_time = design.pipeline_depth
+        outcome = f_lr_star(sketch, design.program, at_time=at_time,
+                            cycles=extra_cycles, budget=budget,
+                            solver=self.solver)
+
+        result = LakeroadResult(
+            status=budget_mod.mapping_status(outcome.status),
+            design_name=design.name,
+            architecture=architecture.name,
+            template=template,
+            time_seconds=time.monotonic() - start,
+            hole_values=outcome.hole_values,
+            synthesis=outcome,
+        )
+        if outcome.program is not None:
+            result.program = outcome.program
+            lowered: LoweredDesign = lower_to_verilog(outcome.program,
+                                                      f"{design.name}_impl")
+            result.verilog = lowered.verilog
+            result.resources = lowered.resources
+            if validate:
+                result.validated = _validate_by_simulation(outcome.program, design,
+                                                           at_time, extra_cycles)
+        result.time_seconds = time.monotonic() - start
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# Default session (the functional API's backing instance)
+# --------------------------------------------------------------------------- #
+_DEFAULT_SESSION: Optional[MappingSession] = None
+
+
+def default_session() -> MappingSession:
+    """The process-wide session backing ``repro.lakeroad``'s functional API."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = MappingSession()
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> None:
+    """Drop the default session (tests use this to isolate cache state)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = None

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import YosysLikeMapper, sota_for
+from repro.engine import budget as budget_mod
+from repro.engine.session import MappingSession, default_session
 from repro.hdl.behavioral import verilog_to_behavioral
-from repro.lakeroad import map_design
 from repro.workloads.generator import Microbenchmark
 
 __all__ = ["ExperimentConfig", "MappingRecord", "run_lakeroad", "run_baselines"]
@@ -19,22 +19,25 @@ class ExperimentConfig:
     """Knobs for an experiment run.
 
     The paper's full-scale settings are ``timeout_seconds`` of 120/40/20 for
-    Xilinx/Lattice/Intel and the complete enumeration; the defaults here are
-    sized for a laptop-scale run (see EXPERIMENTS.md for the mapping between
-    the two).
+    Xilinx/Lattice/Intel and the complete enumeration; the defaults are the
+    laptop-scale budgets derived from the one table in
+    :mod:`repro.engine.budget` (see EXPERIMENTS.md for the mapping between
+    the two scales).  Architectures missing from ``timeout_seconds`` fall
+    back to the engine's canonical (paper-scale) table rather than a flat
+    constant, so partial overrides only change the architectures they name.
     """
 
-    timeout_seconds: Dict[str, float] = field(default_factory=lambda: {
-        "xilinx-ultrascale-plus": 60.0,
-        "lattice-ecp5": 20.0,
-        "intel-cyclone10lp": 10.0,
-    })
+    timeout_seconds: Dict[str, float] = field(default_factory=budget_mod.laptop_timeouts)
     extra_cycles: int = 1
     validate: bool = False
     template: str = "dsp"
+    #: Timing experiments set this to False: a cached result reports the
+    #: cache-lookup time, not the synthesis time being measured.  None
+    #: defers to the session's own ``enable_cache`` setting.
+    use_cache: Optional[bool] = None
 
     def timeout_for(self, architecture: str) -> float:
-        return self.timeout_seconds.get(architecture, 60.0)
+        return budget_mod.timeout_for(architecture, self.timeout_seconds)
 
 
 @dataclass
@@ -53,26 +56,35 @@ class MappingRecord:
     dsps: int = 0
     luts: int = 0
     registers: int = 0
+    cache_hit: bool = False
 
     @property
     def mapped(self) -> bool:
-        return self.outcome == "success"
+        return self.outcome == budget_mod.SUCCESS
 
 
 def run_lakeroad(benchmarks: Sequence[Microbenchmark],
-                 config: Optional[ExperimentConfig] = None) -> List[MappingRecord]:
-    """Run the Lakeroad mapper over microbenchmarks."""
+                 config: Optional[ExperimentConfig] = None,
+                 session: Optional[MappingSession] = None) -> List[MappingRecord]:
+    """Run the Lakeroad mapper over microbenchmarks.
+
+    All runs share one :class:`MappingSession` (the process default unless
+    one is supplied), so repeated sweeps over the same workloads hit the
+    session's synthesis cache instead of re-synthesizing.
+    """
     config = config or ExperimentConfig()
+    session = session if session is not None else default_session()
     records: List[MappingRecord] = []
     for benchmark in benchmarks:
         design = verilog_to_behavioral(benchmark.verilog)
-        result = map_design(
+        result = session.map_design(
             design,
             template=config.template,
             arch=benchmark.architecture,
             timeout_seconds=config.timeout_for(benchmark.architecture),
             extra_cycles=config.extra_cycles,
             validate=config.validate,
+            use_cache=config.use_cache,
         )
         resources = result.resources
         records.append(MappingRecord(
@@ -83,11 +95,12 @@ def run_lakeroad(benchmarks: Sequence[Microbenchmark],
             width=benchmark.width,
             stages=benchmark.stages,
             signed=benchmark.signed,
-            outcome=result.status if result.status != "success" else "success",
+            outcome=result.status,
             time_seconds=result.time_seconds,
             dsps=resources.dsps if resources else 0,
             luts=resources.luts if resources else 0,
             registers=resources.registers if resources else 0,
+            cache_hit=result.cache_hit,
         ))
     return records
 

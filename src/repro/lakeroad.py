@@ -9,93 +9,39 @@ which here is::
     result = map_verilog(open("add_mul_and.v").read(), template="dsp",
                          arch="xilinx-ultrascale-plus")
 
-The three-step process of §2.2 is visible in the implementation: sketch
-generation (template × architecture description), program synthesis
-(``f*_lr`` backed by CEGIS), and compilation to structural Verilog.
+Since the engine refactor the whole map-one-design lifecycle lives in
+:class:`repro.engine.MappingSession` (sketch generation → CEGIS-backed
+synthesis → compilation, with one budget model, a racing solver portfolio
+and a memoizing synthesis cache).  This module keeps the historical
+functional API as thin wrappers over the process-wide default session; for
+explicit control over the library, portfolio or cache, construct a
+:class:`~repro.engine.session.MappingSession` directly.
 """
 
 from __future__ import annotations
 
-import random
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.arch import ArchDescription, load_architecture
-from repro.core.interp import interpret
-from repro.core.lang import Program
-from repro.core.lower import LoweredDesign, ResourceCount, lower_to_verilog
-from repro.core.sketch_gen import DesignInterface, SketchGenerationError, generate_sketch
-from repro.core.synthesis import SynthesisOutcome, f_lr_star
+from repro.engine.budget import Budget
+from repro.engine.session import (
+    LakeroadResult,
+    MappingSession,
+    default_session,
+)
 from repro.hdl.behavioral import BehavioralDesign, verilog_to_behavioral
 from repro.vendor.library import PrimitiveLibrary
 
 __all__ = ["LakeroadResult", "map_design", "map_verilog"]
 
-#: Per-architecture synthesis timeouts used by the paper's evaluation
-#: (seconds): Xilinx 120, Lattice 40, Intel 20.
-DEFAULT_TIMEOUTS = {
-    "xilinx-ultrascale-plus": 120.0,
-    "lattice-ecp5": 40.0,
-    "intel-cyclone10lp": 20.0,
-    "sofa": 40.0,
-}
 
-_SHARED_LIBRARY = PrimitiveLibrary()
-
-
-@dataclass
-class LakeroadResult:
-    """Outcome of one Lakeroad mapping attempt.
-
-    ``status`` is one of ``"success"`` (a structural implementation was
-    produced), ``"unsat"`` (the sketch provably cannot implement the
-    design), or ``"timeout"``.
-    """
-
-    status: str
-    design_name: str
-    architecture: str
-    template: str
-    time_seconds: float
-    program: Optional[Program] = None
-    verilog: Optional[str] = None
-    resources: Optional[ResourceCount] = None
-    hole_values: Dict[str, int] = field(default_factory=dict)
-    synthesis: Optional[SynthesisOutcome] = None
-    validated: Optional[bool] = None
-
-    @property
-    def succeeded(self) -> bool:
-        return self.status == "success"
-
-
-def _resolve_arch(arch) -> ArchDescription:
-    if isinstance(arch, ArchDescription):
-        return arch
-    return load_architecture(str(arch))
-
-
-def _validate_by_simulation(candidate: Program, design: BehavioralDesign,
-                            at_time: int, cycles: int, seed: int = 0,
-                            trials: int = 16) -> bool:
-    """Cross-check a synthesized program against the design on random stimulus.
-
-    This mirrors the paper's Verilator validation step: although the output
-    is correct by construction, we simulate both programs on random input
-    streams and compare the outputs over the checked window.
-    """
-    rng = random.Random(seed)
-    horizon = at_time + cycles + 1
-    for _ in range(trials):
-        streams = {
-            name: [rng.getrandbits(width) for _ in range(horizon)]
-            for name, width in design.input_widths.items()
-        }
-        for t in range(at_time, at_time + cycles + 1):
-            if interpret(candidate, streams, t) != interpret(design.program, streams, t):
-                return False
-    return True
+def _session_for(library: Optional[PrimitiveLibrary],
+                 session: Optional[MappingSession]) -> MappingSession:
+    if session is not None:
+        return session
+    if library is not None:
+        # An explicit library gets its own isolated session (and cache).
+        return MappingSession(library=library)
+    return default_session()
 
 
 def map_design(design: BehavioralDesign, template: str = "dsp",
@@ -103,53 +49,13 @@ def map_design(design: BehavioralDesign, template: str = "dsp",
                timeout_seconds: Optional[float] = None,
                extra_cycles: int = 1,
                validate: bool = True,
-               library: Optional[PrimitiveLibrary] = None) -> LakeroadResult:
+               library: Optional[PrimitiveLibrary] = None,
+               session: Optional[MappingSession] = None,
+               budget: Optional[Budget] = None) -> LakeroadResult:
     """Map an imported behavioral design onto the target architecture."""
-    start = time.monotonic()
-    architecture = _resolve_arch(arch)
-    if timeout_seconds is None:
-        timeout_seconds = DEFAULT_TIMEOUTS.get(architecture.name, 60.0)
-    library = library if library is not None else _SHARED_LIBRARY
-
-    interface = DesignInterface(input_widths=dict(design.input_widths),
-                                output_width=design.output_width)
-    try:
-        sketch = generate_sketch(template, architecture, interface, library)
-    except SketchGenerationError:
-        return LakeroadResult(
-            status="unsat", design_name=design.name, architecture=architecture.name,
-            template=template, time_seconds=time.monotonic() - start)
-
-    at_time = design.pipeline_depth
-    outcome = f_lr_star(sketch, design.program, at_time=at_time, cycles=extra_cycles,
-                        timeout_seconds=timeout_seconds)
-
-    if outcome.status == "unknown":
-        status = "timeout"
-    elif outcome.status == "unsat":
-        status = "unsat"
-    else:
-        status = "success"
-
-    result = LakeroadResult(
-        status=status,
-        design_name=design.name,
-        architecture=architecture.name,
-        template=template,
-        time_seconds=time.monotonic() - start,
-        hole_values=outcome.hole_values,
-        synthesis=outcome,
-    )
-    if outcome.program is not None:
-        result.program = outcome.program
-        lowered: LoweredDesign = lower_to_verilog(outcome.program, f"{design.name}_impl")
-        result.verilog = lowered.verilog
-        result.resources = lowered.resources
-        if validate:
-            result.validated = _validate_by_simulation(outcome.program, design,
-                                                       at_time, extra_cycles)
-    result.time_seconds = time.monotonic() - start
-    return result
+    return _session_for(library, session).map_design(
+        design, template=template, arch=arch, timeout_seconds=timeout_seconds,
+        budget=budget, extra_cycles=extra_cycles, validate=validate)
 
 
 def map_verilog(source: str, template: str = "dsp",
@@ -157,9 +63,11 @@ def map_verilog(source: str, template: str = "dsp",
                 module_name: Optional[str] = None,
                 timeout_seconds: Optional[float] = None,
                 extra_cycles: int = 1,
-                validate: bool = True) -> LakeroadResult:
+                validate: bool = True,
+                session: Optional[MappingSession] = None,
+                budget: Optional[Budget] = None) -> LakeroadResult:
     """Map a behavioral Verilog module (the §2.2 entry point)."""
     design = verilog_to_behavioral(source, module_name)
     return map_design(design, template=template, arch=arch,
                       timeout_seconds=timeout_seconds, extra_cycles=extra_cycles,
-                      validate=validate)
+                      validate=validate, session=session, budget=budget)

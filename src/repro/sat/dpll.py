@@ -9,7 +9,7 @@ tests cross-check CDCL against DPLL on random formulas.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sat.cnf import CNF
 from repro.sat.solver import SatResult
@@ -20,9 +20,12 @@ __all__ = ["DPLLSolver"]
 class DPLLSolver:
     """Iterative DPLL with unit propagation and pure-literal elimination."""
 
-    def __init__(self, cnf: CNF, deadline: Optional[float] = None) -> None:
+    def __init__(self, cnf: CNF, deadline: Optional[float] = None,
+                 should_stop: Optional[Callable[[], bool]] = None) -> None:
         self.cnf = cnf
         self.deadline = deadline
+        #: Optional cancellation hook set by the portfolio race.
+        self.should_stop = should_stop
 
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         start = time.monotonic()
@@ -71,6 +74,8 @@ class DPLLSolver:
         stack = [(clauses, dict(assignment), None)]
         while stack:
             if self.deadline is not None and time.monotonic() > self.deadline:
+                return "unknown", {}
+            if self.should_stop is not None and self.should_stop():
                 return "unknown", {}
             clauses, assignment, decision = stack.pop()
             if decision is not None:

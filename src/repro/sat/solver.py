@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF
 
@@ -64,9 +64,13 @@ def _luby(i: int) -> int:
 class CDCLSolver:
     """Conflict-driven clause-learning SAT solver over a :class:`CNF`."""
 
-    def __init__(self, cnf: CNF, deadline: Optional[float] = None) -> None:
+    def __init__(self, cnf: CNF, deadline: Optional[float] = None,
+                 should_stop: Optional[Callable[[], bool]] = None) -> None:
         self.cnf = cnf
         self.deadline = deadline
+        #: Optional cancellation hook: the portfolio race sets this so losing
+        #: members stop burning CPU once a winner has answered.
+        self.should_stop = should_stop
         self.num_vars = cnf.num_vars
 
         # Clause database: list of clauses (lists of literals).
@@ -320,8 +324,10 @@ class CDCLSolver:
 
         while True:
             check_counter += 1
-            if self.deadline is not None and check_counter % 64 == 0:
-                if time.monotonic() > self.deadline:
+            if check_counter % 64 == 0:
+                expired = (self.deadline is not None
+                           and time.monotonic() > self.deadline)
+                if expired or (self.should_stop is not None and self.should_stop()):
                     self.stats.status = "unknown"
                     self.stats.time_seconds = time.monotonic() - start
                     return self.stats

@@ -29,6 +29,7 @@ from repro.bv import bv, bvand, bveq
 from repro.bv.ast import BVExpr
 from repro.bv.eval import var_widths
 from repro.bv.simplify import substitute
+from repro.engine.budget import Budget
 from repro.smt.equivalence import check_equivalence
 from repro.smt.solver import SmtSolver, check_sat
 
@@ -106,7 +107,8 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                max_iterations: int = 64,
                seed: int = 0,
                solver: Optional[SmtSolver] = None,
-               initial_random_examples: int = 2) -> CegisResult:
+               initial_random_examples: int = 2,
+               budget: Optional[Budget] = None) -> CegisResult:
     """Solve ``∃ holes . ∀ inputs . ⋀ spec_i = sketch_i`` by CEGIS.
 
     Args:
@@ -114,13 +116,17 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         hole_widths: the hole variables (name -> width) to solve for.
         hole_constraints: extra 1-bit constraints over hole variables (the
             architecture description's "additional constraints").
-        deadline: absolute ``time.monotonic`` cutoff, or None.
+        deadline: absolute ``time.monotonic`` cutoff, or None (a plain
+            convenience form of ``budget``).
         max_iterations: CEGIS round limit (a safety net; the hole space is
             finite so the loop terminates regardless).
         seed: RNG seed for the initial examples.
         solver: optional shared :class:`SmtSolver`.
+        budget: the engine-level :class:`Budget`; wins over ``deadline``.
     """
     start = time.monotonic()
+    if budget is not None:
+        deadline = budget.start().deadline
     if isinstance(obligations, Obligation):
         obligations = [obligations]
     obligations = list(obligations)

@@ -1,0 +1,25 @@
+"""Vendor-style primitive simulation models and their importer (§4.4).
+
+The package pairs a directory of small behavioral Verilog models
+(``models/``) with :class:`PrimitiveLibrary`, which runs each model through
+the semantics-extraction pipeline and hands the resulting ℒlr program to
+the sketch generator as Prim-node semantics.
+"""
+
+from repro.vendor.library import (
+    KNOWN_PRIMITIVES,
+    PrimitiveLibrary,
+    PrimitiveModel,
+    PrimitiveSpec,
+    load_primitive,
+    models_directory,
+)
+
+__all__ = [
+    "KNOWN_PRIMITIVES",
+    "PrimitiveLibrary",
+    "PrimitiveModel",
+    "PrimitiveSpec",
+    "load_primitive",
+    "models_directory",
+]

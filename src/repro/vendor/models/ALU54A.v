@@ -1,0 +1,41 @@
+// Lattice ECP5 sysDSP slice ALU (ALU54A) paired with its 18x18 multiplier
+// (behavioral model).  The model includes the multiply path so that one
+// instance implements the slice-level (A * B) op C forms of the evaluation:
+// OPCODE 0 passes the product through, 1..6 combine it with C.
+module ALU54A(
+  input clk,
+  input [17:0] A,
+  input [17:0] B,
+  input [53:0] C,
+  input [2:0] OPCODE,
+  input REG_INA,
+  input REG_INB,
+  input REG_INC,
+  input REG_OUT,
+  output [53:0] R
+);
+  reg [17:0] a1;
+  reg [17:0] b1;
+  reg [53:0] c1;
+  reg [53:0] r1;
+  wire [17:0] a_used; assign a_used = REG_INA ? a1 : A;
+  wire [17:0] b_used; assign b_used = REG_INB ? b1 : B;
+  wire [53:0] c_used; assign c_used = REG_INC ? c1 : C;
+  wire [35:0] product; assign product = a_used * b_used;
+  wire [53:0] m; assign m = product;
+  wire [53:0] alu_out;
+  assign alu_out = (OPCODE == 3'd0) ? m
+                 : ((OPCODE == 3'd1) ? (m + c_used)
+                 : ((OPCODE == 3'd2) ? (m - c_used)
+                 : ((OPCODE == 3'd3) ? (c_used - m)
+                 : ((OPCODE == 3'd4) ? (m & c_used)
+                 : ((OPCODE == 3'd5) ? (m | c_used)
+                 : ((OPCODE == 3'd6) ? (m ^ c_used) : c_used))))));
+  always @(posedge clk) begin
+    a1 <= A;
+    b1 <= B;
+    c1 <= C;
+    r1 <= alu_out;
+  end
+  assign R = REG_OUT ? r1 : alu_out;
+endmodule

@@ -1,0 +1,22 @@
+// Xilinx UltraScale+ 8-bit carry chain (UNISIM-style simulation model).
+// S is the per-bit propagate signal (from the slice LUTs), DI the generate
+// ("data in") signal, CI the chain input.  O is the sum output S ^ carry;
+// CO exposes the per-bit carries.
+module CARRY8(
+  input [7:0] S,
+  input [7:0] DI,
+  input CI,
+  output [7:0] O,
+  output [7:0] CO
+);
+  wire c1; assign c1 = S[0] ? CI : DI[0];
+  wire c2; assign c2 = S[1] ? c1 : DI[1];
+  wire c3; assign c3 = S[2] ? c2 : DI[2];
+  wire c4; assign c4 = S[3] ? c3 : DI[3];
+  wire c5; assign c5 = S[4] ? c4 : DI[4];
+  wire c6; assign c6 = S[5] ? c5 : DI[5];
+  wire c7; assign c7 = S[6] ? c6 : DI[6];
+  wire c8; assign c8 = S[7] ? c7 : DI[7];
+  assign O = S ^ {c7, c6, c5, c4, c3, c2, c1, CI};
+  assign CO = {c8, c7, c6, c5, c4, c3, c2, c1};
+endmodule

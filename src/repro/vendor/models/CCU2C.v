@@ -1,0 +1,16 @@
+// Lattice ECP5 2-bit carry slice (simplified behavioral model).
+// The real CCU2C feeds its propagate/generate signals from two embedded
+// LUT4s; this model exposes them directly as S and DI, matching the CARRY
+// primitive interface the architecture description binds.
+module CCU2C(
+  input [1:0] S,
+  input [1:0] DI,
+  input CIN,
+  output [1:0] O,
+  output COUT
+);
+  wire c1; assign c1 = S[0] ? CIN : DI[0];
+  wire c2; assign c2 = S[1] ? c1 : DI[1];
+  assign O = S ^ {c1, CIN};
+  assign COUT = c2;
+endmodule

@@ -1,0 +1,92 @@
+// Xilinx UltraScale+ DSP48E2 slice (behavioral model, UNISIM-style subset).
+//
+// Covers the paths the evaluation exercises: the 27x18 multiplier with the
+// optional pre-adder (AD = D +/- A), the OPMODE X/Y/Z input multiplexers,
+// the ALU (add / subtract / bitwise combine with Z), and the full register
+// pipeline (AREG/BREG up to two stages, CREG, DREG, ADREG, MREG, PREG).
+// Configuration ports (OPMODE, ALUMODE, the *REG counts and the *SEL
+// selects) are modelled as inputs so semantics extraction exposes them as
+// free variables; the architecture description marks them internal data.
+module DSP48E2(
+  input clk,
+  input [26:0] A,
+  input [17:0] B,
+  input [47:0] C,
+  input [26:0] D,
+  input [8:0] OPMODE,
+  input [3:0] ALUMODE,
+  input CARRYIN,
+  input [1:0] AREG,
+  input [1:0] BREG,
+  input CREG,
+  input DREG,
+  input ADREG,
+  input MREG,
+  input PREG,
+  input AMULTSEL,
+  input BMULTSEL,
+  input PREADDINSEL,
+  input USE_PREADD,
+  input PREADD_SUB,
+  output [47:0] P
+);
+  // Pipeline registers.
+  reg [26:0] a1; reg [26:0] a2;
+  reg [17:0] b1; reg [17:0] b2;
+  reg [47:0] c1;
+  reg [26:0] d1;
+  reg [26:0] ad1;
+  reg [44:0] m1;
+  reg [47:0] p1;
+
+  // Input register selection (0 = combinational, 1 = one stage, 2 = two).
+  wire [26:0] a_used; assign a_used = (AREG == 2'd0) ? A : ((AREG == 2'd1) ? a1 : a2);
+  wire [17:0] b_used; assign b_used = (BREG == 2'd0) ? B : ((BREG == 2'd1) ? b1 : b2);
+  wire [47:0] c_used; assign c_used = CREG ? c1 : C;
+  wire [26:0] d_used; assign d_used = DREG ? d1 : D;
+
+  // Pre-adder: AD = D +/- A, or a bypass of A when the pre-adder is unused.
+  wire [26:0] ad_comb;
+  assign ad_comb = USE_PREADD ? (PREADD_SUB ? (d_used - a_used) : (d_used + a_used)) : a_used;
+  wire [26:0] ad_used; assign ad_used = ADREG ? ad1 : ad_comb;
+
+  // Multiplier: 27x18 -> 45 bits.
+  wire [26:0] a_mult; assign a_mult = AMULTSEL ? ad_used : a_used;
+  wire [17:0] b_mult; assign b_mult = BMULTSEL ? ad_used[17:0] : b_used;
+  wire [44:0] m_comb; assign m_comb = a_mult * b_mult;
+  wire [44:0] m_used; assign m_used = MREG ? m1 : m_comb;
+
+  // OPMODE multiplexers: X = OPMODE[1:0], Y = OPMODE[3:2], Z = OPMODE[6:4].
+  // The two multiplier partial products (X = Y = 01) are folded into x_val.
+  wire [47:0] x_val;
+  assign x_val = (OPMODE[1:0] == 2'd1) ? m_used
+               : ((OPMODE[1:0] == 2'd3) ? {a_used[17:0], b_used} : 48'd0);
+  wire [47:0] y_val;
+  assign y_val = (OPMODE[3:2] == 2'd3) ? c_used : 48'd0;
+  wire [47:0] z_val;
+  assign z_val = (OPMODE[6:4] == 3'd3) ? c_used
+               : ((OPMODE[6:4] == 3'd2) ? p1 : 48'd0);
+
+  // ALU: add, subtract either way, or a bitwise combine with Z.
+  wire [47:0] xy; assign xy = x_val + y_val + {47'd0, CARRYIN};
+  wire [47:0] alu_out;
+  assign alu_out = (ALUMODE == 4'd0) ? (z_val + xy)
+                 : ((ALUMODE == 4'd1) ? (xy - z_val)
+                 : ((ALUMODE == 4'd3) ? (z_val - xy)
+                 : ((ALUMODE == 4'b1100) ? (z_val & xy)
+                 : ((ALUMODE == 4'b1110) ? (z_val | xy)
+                 : ((ALUMODE == 4'b0100) ? (z_val ^ xy)
+                 : ((ALUMODE == 4'b0101) ? ~(z_val ^ xy) : (z_val + xy)))))));
+
+  always @(posedge clk) begin
+    a1 <= A; a2 <= a1;
+    b1 <= B; b2 <= b1;
+    c1 <= C;
+    d1 <= D;
+    ad1 <= ad_comb;
+    m1 <= m_comb;
+    p1 <= alu_out;
+  end
+
+  assign P = PREG ? p1 : alu_out;
+endmodule

@@ -1,0 +1,8 @@
+// Lattice ECP5 2-input lookup table (simulation model).
+module LUT2(
+  input I0, I1,
+  input [3:0] INIT,
+  output O
+);
+  assign O = (INIT >> {I1, I0}) & 1'b1;
+endmodule

@@ -1,0 +1,10 @@
+// Lattice ECP5 4-input lookup table (simulation model).
+module LUT4(
+  input I0, I1, I2, I3,
+  input [15:0] INIT,
+  output O
+);
+  wire [3:0] addr;
+  assign addr = {I3, I2, I1, I0};
+  assign O = (INIT >> addr) & 1'b1;
+endmodule

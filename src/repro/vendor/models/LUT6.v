@@ -1,0 +1,12 @@
+// Xilinx UltraScale+ 6-input lookup table (UNISIM-style simulation model).
+// The INIT memory is modelled as an input so semantics extraction exposes it
+// as a free variable; the architecture description marks it internal data.
+module LUT6(
+  input I0, I1, I2, I3, I4, I5,
+  input [63:0] INIT,
+  output O
+);
+  wire [5:0] addr;
+  assign addr = {I5, I4, I3, I2, I1, I0};
+  assign O = (INIT >> addr) & 1'b1;
+endmodule

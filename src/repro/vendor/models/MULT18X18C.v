@@ -1,0 +1,24 @@
+// Lattice ECP5 18x18 multiplier block (behavioral model).  One half of the
+// sysDSP slice; the ALU54A model pairs it with the output ALU.
+module MULT18X18C(
+  input clk,
+  input [17:0] A,
+  input [17:0] B,
+  input REG_INA,
+  input REG_INB,
+  input REG_OUT,
+  output [35:0] P
+);
+  reg [17:0] a1;
+  reg [17:0] b1;
+  reg [35:0] p1;
+  wire [17:0] a_used; assign a_used = REG_INA ? a1 : A;
+  wire [17:0] b_used; assign b_used = REG_INB ? b1 : B;
+  wire [35:0] product; assign product = a_used * b_used;
+  always @(posedge clk) begin
+    a1 <= A;
+    b1 <= B;
+    p1 <= product;
+  end
+  assign P = REG_OUT ? p1 : product;
+endmodule

@@ -1,0 +1,27 @@
+// Intel Cyclone 10 LP embedded multiplier (mac_mult block, behavioral
+// model).  REG_INPUTA / REG_INPUTB / REG_OUTPUT select the optional input
+// and output registers; they are modelled as inputs so extraction exposes
+// them as free variables (the architecture description marks them internal
+// data and the compiler re-emits them as instantiation parameters).
+module cyclone10lp_mac_mult(
+  input clk,
+  input [17:0] dataa,
+  input [17:0] datab,
+  input REG_INPUTA,
+  input REG_INPUTB,
+  input REG_OUTPUT,
+  output [35:0] dataout
+);
+  reg [17:0] a1;
+  reg [17:0] b1;
+  reg [35:0] o1;
+  wire [17:0] a_used; assign a_used = REG_INPUTA ? a1 : dataa;
+  wire [17:0] b_used; assign b_used = REG_INPUTB ? b1 : datab;
+  wire [35:0] product; assign product = a_used * b_used;
+  always @(posedge clk) begin
+    a1 <= dataa;
+    b1 <= datab;
+    o1 <= product;
+  end
+  assign dataout = REG_OUTPUT ? o1 : product;
+endmodule

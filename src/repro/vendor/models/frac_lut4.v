@@ -1,0 +1,15 @@
+// SOFA fracturable 4-input LUT (frac_lut4 from the SOFA eFPGA IP library).
+// mode 0 uses the full 16-bit sram as one LUT4; mode 1 fractures the cell
+// and the low 8 sram bits implement a LUT3 over in[2:0].
+module frac_lut4(
+  input [3:0] in,
+  input [15:0] sram,
+  input mode,
+  output O
+);
+  wire lut4_out;
+  wire lut3_out;
+  assign lut4_out = (sram >> in) & 1'b1;
+  assign lut3_out = (sram[7:0] >> in[2:0]) & 1'b1;
+  assign O = mode ? lut3_out : lut4_out;
+endmodule
