@@ -36,6 +36,7 @@ class _SotaBase(YosysLikeMapper):
     """Shared plumbing: SOTA mappers reuse the fabric-fallback costing."""
 
     name = "sota"
+    family = "sota"
     architecture = ""
     #: Start-up cost added to every run (the paper notes the Xilinx SOTA
     #: tool's long start-up process dominates its mapping time).

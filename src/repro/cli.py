@@ -6,12 +6,20 @@ Usage mirrors the paper::
 
 The CLI is a thin shell over :class:`repro.engine.MappingSession`, which
 owns the budget policy, the racing solver portfolio and the synthesis
-cache.
+cache.  A second subcommand drives the evaluation harness::
+
+    lakeroad sweep --arch intel-cyclone10lp --workers 4 --cache-dir .lr-cache
+
+sharding the workload enumeration across worker processes with a shared
+persistent synthesis cache (see :mod:`repro.engine.parallel`).  For
+backward compatibility a bare Verilog file is treated as the ``map``
+subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -19,14 +27,18 @@ from repro.arch import available_architectures
 from repro.core.templates import available_templates
 from repro.engine.session import MappingSession
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser"]
+
+_PORTFOLIO_KINDS = ("thread", "process", "sequential")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``map`` (default) subcommand parser: map one Verilog file."""
     parser = argparse.ArgumentParser(
         prog="lakeroad",
         description="FPGA technology mapping using sketch-guided program synthesis "
-                    "(reproduction of the ASPLOS 2024 Lakeroad paper).")
+                    "(reproduction of the ASPLOS 2024 Lakeroad paper). "
+                    "Run 'lakeroad sweep --help' for the parallel evaluation sweep.")
     parser.add_argument("verilog", help="behavioral Verilog file to map")
     parser.add_argument("--template", default="dsp", choices=available_templates(),
                         help="sketch template to use (default: dsp)")
@@ -44,20 +56,86 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip post-synthesis simulation validation")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the session's synthesis cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist the synthesis cache here (shared across runs)")
+    parser.add_argument("--portfolio", default="thread", choices=_PORTFOLIO_KINDS,
+                        help="SAT racing style (default: thread)")
     parser.add_argument("--stats", action="store_true",
                         help="print cache and solver-portfolio statistics")
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """The ``sweep`` subcommand parser: a sharded evaluation sweep."""
+    from repro.workloads.generator import ARCHITECTURE_WORKLOADS
+
+    architectures = sorted(ARCHITECTURE_WORKLOADS)
+    parser = argparse.ArgumentParser(
+        prog="lakeroad sweep",
+        description="Run the Lakeroad mapper over sampled microbenchmarks, "
+                    "sharded across worker processes with an optional "
+                    "persistent synthesis cache.")
+    parser.add_argument("--arch", action="append", dest="architectures",
+                        choices=architectures, default=None,
+                        help="architecture to sweep (repeatable; default: all "
+                             f"of {', '.join(architectures)})")
+    parser.add_argument("--count", type=int, default=8,
+                        help="stratified sample size per architecture (default: 8)")
+    parser.add_argument("--max-width", type=int, default=8,
+                        help="cap benchmark bitwidths (default: 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sampling seed (default: 0)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the complete enumeration instead of a sample")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes to shard across (default: 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent synthesis cache directory shared by "
+                             "workers and later runs (default: in-memory only)")
+    parser.add_argument("--portfolio", default="thread", choices=_PORTFOLIO_KINDS,
+                        help="SAT racing style inside each worker (default: thread)")
+    parser.add_argument("--template", default="dsp", choices=available_templates(),
+                        help="sketch template to use (default: dsp)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-query timeout override in seconds "
+                             "(default: laptop-scale per-architecture budgets)")
+    parser.add_argument("--validate", action="store_true",
+                        help="simulation-validate every mapped design")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable synthesis caching entirely")
+    parser.add_argument("--jsonl", default=None,
+                        help="dump the raw MappingRecords to this JSON-lines file")
+    parser.add_argument("--stats-json", default=None,
+                        help="write a machine-readable sweep summary here")
+    return parser
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return _main_sweep(argv[1:])
+    if argv and argv[0] == "map":
+        argv = argv[1:]
+    return _main_map(argv)
+
+
+# --------------------------------------------------------------------------- #
+# lakeroad map (the historical default)
+# --------------------------------------------------------------------------- #
+def _main_map(argv) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache and --cache-dir are contradictory: a "
+                     "disabled cache never persists anything")
     source_path = Path(args.verilog)
     if not source_path.exists():
         parser.error(f"no such file: {args.verilog}")
     source = source_path.read_text()
 
-    session = MappingSession(enable_cache=not args.no_cache)
+    session = MappingSession(enable_cache=not args.no_cache,
+                             cache_dir=args.cache_dir,
+                             portfolio=args.portfolio)
     result = session.map_verilog(
         source,
         template=args.template,
@@ -89,6 +167,78 @@ def main(argv=None) -> int:
         return 2
     print("timeout: synthesis did not finish within the budget", file=sys.stderr)
     return 3
+
+
+# --------------------------------------------------------------------------- #
+# lakeroad sweep
+# --------------------------------------------------------------------------- #
+def _main_sweep(argv) -> int:
+    from repro.engine.parallel import SessionSpec, run_sweep
+    from repro.harness.runner import ExperimentConfig, records_to_jsonl
+    from repro.workloads.generator import (
+        ARCHITECTURE_WORKLOADS,
+        enumerate_workloads,
+        sample_workloads,
+    )
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache and --cache-dir are contradictory: a "
+                     "disabled cache never persists anything")
+    architectures = args.architectures or sorted(ARCHITECTURE_WORKLOADS)
+
+    benchmarks = []
+    for architecture in architectures:
+        if args.full:
+            benchmarks.extend(enumerate_workloads(architecture))
+        else:
+            benchmarks.extend(sample_workloads(architecture, args.count,
+                                               seed=args.seed,
+                                               max_width=args.max_width))
+    if not benchmarks:
+        parser.error("the requested sample is empty (raise --count/--max-width; "
+                     "the narrowest enumerated benchmarks are 8 bits wide)")
+
+    config = ExperimentConfig(validate=args.validate, template=args.template,
+                              workers=args.workers, cache_dir=args.cache_dir,
+                              portfolio=args.portfolio)
+    if args.timeout is not None:
+        config.timeout_seconds = {arch: args.timeout for arch in architectures}
+    spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
+                       enable_cache=not args.no_cache)
+
+    result = run_sweep(benchmarks, config, workers=args.workers,
+                       session_spec=spec)
+
+    outcomes = result.outcome_counts()
+    print(f"swept {len(result.records)} benchmarks over "
+          f"{', '.join(architectures)} with {result.workers} worker(s)",
+          file=sys.stderr)
+    print(f"outcomes: {outcomes}", file=sys.stderr)
+    print(f"record cache hits: {result.record_cache_hits}/{len(result.records)} "
+          f"({result.hit_rate:.0%})", file=sys.stderr)
+    print(f"cache: {result.cache_stats}", file=sys.stderr)
+    print(f"portfolio wins: {result.portfolio_wins}", file=sys.stderr)
+
+    if args.jsonl:
+        records_to_jsonl(result.records, args.jsonl)
+        print(f"records written to {args.jsonl}", file=sys.stderr)
+    if args.stats_json:
+        summary = {
+            "total": len(result.records),
+            "workers": result.workers,
+            "architectures": architectures,
+            "outcomes": outcomes,
+            "record_cache_hits": result.record_cache_hits,
+            "hit_rate": result.hit_rate,
+            "cache": result.cache_stats,
+            "portfolio_wins": result.portfolio_wins,
+        }
+        Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
+    # The sweep succeeded as a harness run even if some designs were
+    # unmappable; only an empty record set is an error (caught above).
+    return 0
 
 
 if __name__ == "__main__":

@@ -7,12 +7,18 @@
 * :mod:`repro.engine.backends` -- the pluggable solver-backend registry the
   SAT portfolio races.
 * :mod:`repro.engine.cache`    -- the keyed, memoizing synthesis cache.
+* :mod:`repro.engine.diskcache`-- the persistent (sqlite) cache tier shared
+  across processes and runs.
 * :mod:`repro.engine.session`  -- :class:`MappingSession`, which owns the
   whole map-one-design lifecycle (§2.2) and the shared state above.
+* :mod:`repro.engine.parallel` -- sharded sweeps over worker processes,
+  each owning its own session.
 
-``session`` is imported lazily: it depends on the synthesis stack, which in
-turn imports :mod:`repro.engine.budget`, and eager re-export would create
-an import cycle.
+Everything except ``budget`` and ``backends`` is imported lazily: the
+cache, session and parallel layers depend on the core/synthesis/harness
+stack, which in turn imports :mod:`repro.engine.budget`, and eager
+re-export would create an import cycle (e.g. ``import repro.smt`` used to
+fail when it was the very first ``repro`` import).
 """
 
 from repro.engine.backends import (
@@ -30,8 +36,6 @@ from repro.engine.budget import (
     mapping_status,
     timeout_for,
 )
-from repro.engine.cache import SynthesisCache, program_fingerprint
-
 __all__ = [
     "Budget",
     "DEFAULT_TIMEOUTS",
@@ -44,22 +48,44 @@ __all__ = [
     "backend_by_name",
     "available_backends",
     "default_backend_names",
+    # Lazily resolved (see __getattr__):
     "SynthesisCache",
     "program_fingerprint",
-    # Lazily resolved (see __getattr__):
+    "DiskSynthesisCache",
+    "TieredSynthesisCache",
     "LakeroadResult",
     "MappingSession",
     "default_session",
     "reset_default_session",
+    "SessionSpec",
+    "SweepResult",
+    "run_sweep",
+    "run_lakeroad_parallel",
 ]
 
+_CACHE_EXPORTS = ("SynthesisCache", "program_fingerprint")
+_DISKCACHE_EXPORTS = ("DiskSynthesisCache", "TieredSynthesisCache")
 _SESSION_EXPORTS = ("LakeroadResult", "MappingSession", "default_session",
                     "reset_default_session")
+_PARALLEL_EXPORTS = ("SessionSpec", "SweepResult", "run_sweep",
+                     "run_lakeroad_parallel")
 
 
 def __getattr__(name):
+    if name in _CACHE_EXPORTS:
+        from repro.engine import cache
+
+        return getattr(cache, name)
+    if name in _DISKCACHE_EXPORTS:
+        from repro.engine import diskcache
+
+        return getattr(diskcache, name)
     if name in _SESSION_EXPORTS:
         from repro.engine import session
 
         return getattr(session, name)
+    if name in _PARALLEL_EXPORTS:
+        from repro.engine import parallel
+
+        return getattr(parallel, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

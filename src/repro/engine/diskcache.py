@@ -1,0 +1,306 @@
+"""A persistent, process-shared synthesis cache (sqlite) and its tiering.
+
+The in-memory :class:`repro.engine.cache.SynthesisCache` dies with the
+process, so harness runs, sharded sweep workers and CI jobs each pay the
+full synthesis cost for workloads every other process has already solved.
+:class:`DiskSynthesisCache` persists entries in a single sqlite database:
+
+* **keying** reuses the session's canonical cache key (design fingerprint ×
+  architecture × template × budget × BMC window × validation flag),
+  serialized to a stable JSON string;
+* **values** are pickled :class:`repro.engine.session.LakeroadResult`
+  objects (the cache itself is payload-agnostic — it stores any picklable
+  value);
+* **schema versioning**: a bumped :data:`SCHEMA_VERSION` makes an old
+  database read as empty instead of serving stale or shape-incompatible
+  entries;
+* **corruption**: an unreadable database file is quarantined (renamed to
+  ``*.corrupt``) and replaced with a fresh one — a damaged cache must never
+  take the tool down;
+* **concurrency**: WAL journaling plus a busy timeout make concurrent
+  readers/writers from sharded sweep workers safe.
+
+:class:`TieredSynthesisCache` layers the disk cache *under* the in-memory
+LRU as a read-through/write-through tier: gets fall through memory to disk
+(promoting hits back into memory), puts write both.  Sessions build the
+tier automatically when given a ``cache_dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import threading
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Hashable, Optional
+
+from repro.engine.cache import SynthesisCache
+
+__all__ = ["SCHEMA_VERSION", "DiskSynthesisCache", "TieredSynthesisCache"]
+
+#: Bump whenever the stored value shape (or the key derivation) changes in a
+#: way that makes old entries unusable; mismatched databases fall back to
+#: empty instead of deserializing stale results.
+SCHEMA_VERSION = 1
+
+_DB_NAME = "synthesis-cache.sqlite"
+
+
+def canonical_key(key: Hashable) -> str:
+    """A stable text form of a cache key (tuples become JSON arrays)."""
+    return json.dumps(key, sort_keys=True, default=repr)
+
+
+class DiskSynthesisCache:
+    """A sqlite-backed synthesis cache shared across processes.
+
+    Hit/miss counters are per-instance (per-process); the entry set is the
+    shared database.  All failure modes degrade to cache misses — a cache
+    must accelerate runs, never abort them.
+    """
+
+    def __init__(self, directory, db_name: str = _DB_NAME) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / db_name
+        self._lock = threading.Lock()
+        self._connection: Optional[sqlite3.Connection] = None
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        #: Local estimate of the entry count, so the per-query stats path
+        #: never runs COUNT(*); exact at open and after len(), drifts only
+        #: on key overwrites and on other processes' concurrent writes.
+        self._entry_estimate = 0
+        self._open()
+        self._entry_estimate = self._count_entries()
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+    def _open(self) -> None:
+        try:
+            self._connection = self._initialise()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._connection = self._initialise()
+
+    def _initialise(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(str(self.path), timeout=30.0,
+                                     check_same_thread=False)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute("PRAGMA busy_timeout=30000")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " key TEXT PRIMARY KEY, value BLOB NOT NULL, created_at REAL NOT NULL)")
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+            if row is None or row[0] != str(SCHEMA_VERSION):
+                # Entries written under another schema are unusable; start
+                # empty rather than deserializing stale shapes.
+                connection.execute("DELETE FROM entries")
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)))
+            connection.commit()
+        except BaseException:
+            connection.close()
+            raise
+        return connection
+
+    def _quarantine(self) -> None:
+        """Move a damaged database aside and warn; the cache starts fresh."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+        quarantined = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, quarantined)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        for sidecar in (f"{self.path}-wal", f"{self.path}-shm"):
+            try:
+                os.unlink(sidecar)
+            except OSError:
+                pass
+        warnings.warn(
+            f"synthesis cache database {self.path} was unreadable; "
+            f"quarantined to {quarantined} and starting empty",
+            RuntimeWarning, stacklevel=3)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except sqlite3.Error:
+                    pass
+                self._connection = None
+
+    # ------------------------------------------------------------------ #
+    # Cache protocol (mirrors SynthesisCache)
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[Any]:
+        text_key = canonical_key(key)
+        with self._lock:
+            if self._connection is None:
+                self.misses += 1
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT value FROM entries WHERE key = ?", (text_key,)).fetchone()
+            except sqlite3.Error:
+                self.errors += 1
+                self.misses += 1
+                return None
+            if row is None:
+                self.misses += 1
+                return None
+            try:
+                value = pickle.loads(row[0])
+            except Exception:
+                # An undeserializable entry is useless; drop it so the next
+                # run recomputes and overwrites.
+                self.errors += 1
+                self.misses += 1
+                try:
+                    self._connection.execute(
+                        "DELETE FROM entries WHERE key = ?", (text_key,))
+                    self._connection.commit()
+                    self._entry_estimate = max(0, self._entry_estimate - 1)
+                except sqlite3.Error:
+                    pass
+                return None
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        text_key = canonical_key(key)
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.errors += 1
+            return
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO entries (key, value, created_at) "
+                    "VALUES (?, ?, ?)", (text_key, blob, time.time()))
+                self._connection.commit()
+                self._entry_estimate += 1
+            except sqlite3.Error:
+                self.errors += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.errors = 0
+            self._entry_estimate = 0
+            if self._connection is None:
+                return
+            try:
+                self._connection.execute("DELETE FROM entries")
+                self._connection.commit()
+            except sqlite3.Error:
+                self.errors += 1
+
+    def _count_entries(self) -> int:
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()
+            except sqlite3.Error:
+                return 0
+            return int(row[0])
+
+    def __len__(self) -> int:
+        """Exact entry count (COUNT(*)); also refreshes the estimate."""
+        count = self._count_entries()
+        self._entry_estimate = count
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the per-query hot path.
+
+        ``entries`` is the local estimate (no COUNT(*) table scan — sessions
+        read stats on every mapping); call ``len(cache)`` for the exact
+        shared count.
+        """
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": self._entry_estimate, "errors": self.errors}
+
+
+class TieredSynthesisCache:
+    """An in-memory LRU over a persistent disk tier.
+
+    Reads fall through memory to disk and promote hits back into memory;
+    writes go to both tiers.  ``stats()`` reports the combined view the
+    session's counters expect (``hits``/``misses``/``entries``) plus the
+    per-tier breakdown.
+    """
+
+    def __init__(self, memory: Optional[SynthesisCache] = None,
+                 disk: Optional[DiskSynthesisCache] = None) -> None:
+        if disk is None:
+            raise ValueError("TieredSynthesisCache requires a disk tier; "
+                             "use SynthesisCache alone for memory-only caching")
+        self.memory = memory if memory is not None else SynthesisCache()
+        self.disk = disk
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        value = self.disk.get(key)
+        if value is not None:
+            self.memory.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self.memory.put(key, value)
+        self.disk.put(key, value)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()
+
+    def close(self) -> None:
+        self.disk.close()
+
+    def __len__(self) -> int:
+        return len(self.disk)
+
+    def stats(self) -> Dict[str, int]:
+        memory = self.memory.stats()
+        disk = self.disk.stats()
+        return {
+            # Combined counters: a disk hit is still a cache hit, and only a
+            # miss in *both* tiers is a true miss (every memory miss falls
+            # through to the disk tier, where it is counted exactly once).
+            "hits": memory["hits"] + disk["hits"],
+            "misses": disk["misses"],
+            "entries": disk["entries"],
+            "memory_hits": memory["hits"],
+            "memory_entries": memory["entries"],
+            "disk_hits": disk["hits"],
+            "disk_errors": disk["errors"],
+        }

@@ -29,8 +29,9 @@ from repro.core.synthesis import SynthesisOutcome, f_lr_star
 from repro.engine import budget as budget_mod
 from repro.engine.budget import Budget
 from repro.engine.cache import SynthesisCache, program_fingerprint
+from repro.engine.diskcache import DiskSynthesisCache, TieredSynthesisCache
 from repro.hdl.behavioral import BehavioralDesign, verilog_to_behavioral
-from repro.sat.portfolio import SatPortfolio
+from repro.sat.portfolio import SatPortfolio, make_portfolio
 from repro.smt.solver import SmtSolver
 from repro.vendor.library import PrimitiveLibrary
 
@@ -123,32 +124,68 @@ class MappingSession:
     (e.g. a shared cache across harness shards); by default a session
     creates its own primitive library, a concurrent SAT portfolio, a word
     level solver wired to that portfolio, and a bounded synthesis cache.
+
+    ``portfolio`` accepts either a ready :class:`SatPortfolio` instance or
+    a racing-style name (``"thread"``, ``"process"``, ``"sequential"`` —
+    see :func:`repro.sat.portfolio.make_portfolio`).  ``cache_dir`` layers
+    a persistent :class:`DiskSynthesisCache` under the in-memory LRU so
+    synthesis results survive the process and are shared with concurrent
+    sweep workers.
     """
 
     def __init__(self,
                  library: Optional[PrimitiveLibrary] = None,
-                 portfolio: Optional[SatPortfolio] = None,
+                 portfolio: Optional["SatPortfolio | str"] = None,
                  solver: Optional[SmtSolver] = None,
                  cache: Optional[SynthesisCache] = None,
-                 enable_cache: bool = True) -> None:
+                 enable_cache: bool = True,
+                 cache_dir=None) -> None:
         self.library = library if library is not None else PrimitiveLibrary()
+        if isinstance(portfolio, str):
+            portfolio = make_portfolio(portfolio)
         if portfolio is None and solver is not None:
             # Adopt the injected solver's portfolio so portfolio_wins()
             # reports the races that actually ran.
             portfolio = solver.portfolio
         self.portfolio = portfolio if portfolio is not None else SatPortfolio()
         self.solver = solver if solver is not None else SmtSolver(portfolio=self.portfolio)
-        self.cache = cache if cache is not None else SynthesisCache()
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either an explicit cache or a cache_dir, "
+                             "not both (a silently dropped cache_dir would "
+                             "mean nothing ever persists)")
+        if cache is None:
+            memory = SynthesisCache()
+            cache = TieredSynthesisCache(memory, DiskSynthesisCache(cache_dir)) \
+                if cache_dir is not None else memory
+        self.cache = cache
         self.enable_cache = enable_cache
 
     # ------------------------------------------------------------------ #
-    # Introspection
+    # Introspection / lifecycle
     # ------------------------------------------------------------------ #
     def cache_stats(self) -> Dict[str, int]:
         return self.cache.stats()
 
     def portfolio_wins(self) -> Dict[str, int]:
         return self.portfolio.win_counts()
+
+    def close(self) -> None:
+        """Release held resources (the disk cache's sqlite connection).
+
+        In-memory sessions hold nothing that outlives garbage collection;
+        disk-cached ones keep a database handle open, so harness code that
+        builds sessions per run should close them (or use the session as a
+        context manager).  Safe to call more than once.
+        """
+        close = getattr(self.cache, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "MappingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Mapping

@@ -83,18 +83,23 @@ def default_benchmarks(architecture: str, count: int = 8,
 def figure6_completeness(benchmarks_by_arch: Dict[str, Sequence[Microbenchmark]],
                          config: Optional[ExperimentConfig] = None,
                          include_lakeroad: bool = True,
-                         session=None) -> Dict[str, dict]:
+                         session=None,
+                         workers: Optional[int] = None) -> Dict[str, dict]:
     """Fraction of microbenchmarks each tool maps to a single DSP.
 
     ``session`` (a :class:`repro.engine.MappingSession`) is shared across
     every Lakeroad run so repeated sweeps hit the synthesis cache.
+    ``workers`` > 1 shards each architecture's sweep across worker
+    processes instead (set ``config.cache_dir`` so the workers share the
+    persistent synthesis cache); it defaults to ``config.workers``.
     """
     config = config or ExperimentConfig()
     results: Dict[str, dict] = {}
     for architecture, benchmarks in benchmarks_by_arch.items():
         records: List[MappingRecord] = []
         if include_lakeroad:
-            records.extend(run_lakeroad(benchmarks, config, session=session))
+            records.extend(run_lakeroad(benchmarks, config, session=session,
+                                        workers=workers))
         records.extend(run_baselines(benchmarks))
         per_tool: Dict[str, Counter] = defaultdict(Counter)
         for record in records:

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import YosysLikeMapper, sota_for
@@ -11,7 +13,15 @@ from repro.engine.session import MappingSession, default_session
 from repro.hdl.behavioral import verilog_to_behavioral
 from repro.workloads.generator import Microbenchmark
 
-__all__ = ["ExperimentConfig", "MappingRecord", "run_lakeroad", "run_baselines"]
+__all__ = [
+    "ExperimentConfig",
+    "MappingRecord",
+    "map_benchmark",
+    "run_lakeroad",
+    "run_baselines",
+    "records_to_jsonl",
+    "records_from_jsonl",
+]
 
 
 @dataclass
@@ -35,6 +45,16 @@ class ExperimentConfig:
     #: cache-lookup time, not the synthesis time being measured.  None
     #: defers to the session's own ``enable_cache`` setting.
     use_cache: Optional[bool] = None
+    #: Worker processes for the sweep.  1 runs in-process (the historical
+    #: serial behavior); >1 shards the benchmark list across a process pool
+    #: (see :mod:`repro.engine.parallel`).
+    workers: int = 1
+    #: Directory for the persistent synthesis cache shared by every worker
+    #: (and by later runs); None keeps the cache in-memory and per-process.
+    cache_dir: Optional[str] = None
+    #: SAT racing style for the sessions this config builds:
+    #: ``"thread"``, ``"process"`` or ``"sequential"``.
+    portfolio: str = "thread"
 
     def timeout_for(self, architecture: str) -> float:
         return budget_mod.timeout_for(architecture, self.timeout_seconds)
@@ -57,57 +77,134 @@ class MappingRecord:
     luts: int = 0
     registers: int = 0
     cache_hit: bool = False
+    #: The concrete mapper that produced the record (e.g. ``sota-lattice``)
+    #: when ``tool`` is a family label like ``sota``; empty otherwise.
+    tool_variant: str = ""
 
     @property
     def mapped(self) -> bool:
         return self.outcome == budget_mod.SUCCESS
 
+    def to_dict(self) -> dict:
+        """A plain-dict form (JSON-able; the cross-process wire format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MappingRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Unknown keys are ignored so records written by a newer schema still
+        load (forward compatibility for archived JSONL dumps).
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+def records_to_jsonl(records: Sequence[MappingRecord], path) -> Path:
+    """Dump records to a JSON-lines file (one record per line)."""
+    path = Path(path)
+    path.write_text("".join(json.dumps(record.to_dict()) + "\n"
+                            for record in records))
+    return path
+
+
+def records_from_jsonl(path) -> List[MappingRecord]:
+    """Load records written by :func:`records_to_jsonl`."""
+    records: List[MappingRecord] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(MappingRecord.from_dict(json.loads(line)))
+    return records
+
+
+def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
+                  config: Optional[ExperimentConfig] = None) -> MappingRecord:
+    """Map one microbenchmark on a session and record the data point.
+
+    This is the per-item unit of work both the serial sweep and the sharded
+    worker processes run, so parallel results are serial results by
+    construction.
+    """
+    config = config or ExperimentConfig()
+    design = verilog_to_behavioral(benchmark.verilog)
+    result = session.map_design(
+        design,
+        template=config.template,
+        arch=benchmark.architecture,
+        timeout_seconds=config.timeout_for(benchmark.architecture),
+        extra_cycles=config.extra_cycles,
+        validate=config.validate,
+        use_cache=config.use_cache,
+    )
+    resources = result.resources
+    return MappingRecord(
+        tool="lakeroad",
+        architecture=benchmark.architecture,
+        benchmark=benchmark.name,
+        form=benchmark.form.name,
+        width=benchmark.width,
+        stages=benchmark.stages,
+        signed=benchmark.signed,
+        outcome=result.status,
+        time_seconds=result.time_seconds,
+        dsps=resources.dsps if resources else 0,
+        luts=resources.luts if resources else 0,
+        registers=resources.registers if resources else 0,
+        cache_hit=result.cache_hit,
+    )
+
 
 def run_lakeroad(benchmarks: Sequence[Microbenchmark],
                  config: Optional[ExperimentConfig] = None,
-                 session: Optional[MappingSession] = None) -> List[MappingRecord]:
+                 session: Optional[MappingSession] = None,
+                 workers: Optional[int] = None) -> List[MappingRecord]:
     """Run the Lakeroad mapper over microbenchmarks.
 
-    All runs share one :class:`MappingSession` (the process default unless
-    one is supplied), so repeated sweeps over the same workloads hit the
-    session's synthesis cache instead of re-synthesizing.
+    With ``workers`` of 1 (the default) all runs share one
+    :class:`MappingSession` (the process default unless one is supplied),
+    so repeated sweeps over the same workloads hit the session's synthesis
+    cache instead of re-synthesizing.  With ``workers`` > 1 the benchmark
+    list is sharded across worker processes (each with its own session —
+    pass ``config.cache_dir`` to share results through the persistent
+    cache); the serial run is literally the ``workers=1`` case of that
+    sharded code path.
     """
     config = config or ExperimentConfig()
-    session = session if session is not None else default_session()
-    records: List[MappingRecord] = []
-    for benchmark in benchmarks:
-        design = verilog_to_behavioral(benchmark.verilog)
-        result = session.map_design(
-            design,
-            template=config.template,
-            arch=benchmark.architecture,
-            timeout_seconds=config.timeout_for(benchmark.architecture),
-            extra_cycles=config.extra_cycles,
-            validate=config.validate,
-            use_cache=config.use_cache,
-        )
-        resources = result.resources
-        records.append(MappingRecord(
-            tool="lakeroad",
-            architecture=benchmark.architecture,
-            benchmark=benchmark.name,
-            form=benchmark.form.name,
-            width=benchmark.width,
-            stages=benchmark.stages,
-            signed=benchmark.signed,
-            outcome=result.status,
-            time_seconds=result.time_seconds,
-            dsps=resources.dsps if resources else 0,
-            luts=resources.luts if resources else 0,
-            registers=resources.registers if resources else 0,
-            cache_hit=result.cache_hit,
-        ))
-    return records
+    if workers is None:
+        workers = config.workers
+    if workers is not None and workers > 1:
+        if session is not None:
+            raise ValueError(
+                "an in-memory session cannot be shared across worker "
+                "processes; pass config.cache_dir to share the synthesis "
+                "cache instead")
+        from repro.engine.parallel import run_lakeroad_parallel
+
+        return run_lakeroad_parallel(benchmarks, config, workers=workers)
+    if session is None:
+        if config.cache_dir is not None or config.portfolio != "thread":
+            # The config asks for a non-default session; honour it instead
+            # of silently dropping the knobs on the serial path.  The
+            # session is ours, so release its disk-cache handle when done.
+            from repro.engine.parallel import SessionSpec
+
+            with SessionSpec.from_config(config).build() as session:
+                return [map_benchmark(session, benchmark, config)
+                        for benchmark in benchmarks]
+        session = default_session()
+    return [map_benchmark(session, benchmark, config) for benchmark in benchmarks]
 
 
 def run_baselines(benchmarks: Sequence[Microbenchmark],
                   tools: Sequence[str] = ("sota", "yosys")) -> List[MappingRecord]:
-    """Run the baseline mappers over microbenchmarks."""
+    """Run the baseline mappers over microbenchmarks.
+
+    Records carry the mapper's own labels: ``tool`` is the family the
+    figures aggregate by (``sota`` / ``yosys``) and ``tool_variant`` the
+    concrete mapper (e.g. ``sota-lattice``), so attribution follows the
+    mapper object rather than its position in a hard-coded list.
+    """
     records: List[MappingRecord] = []
     yosys = YosysLikeMapper()
     for benchmark in benchmarks:
@@ -120,7 +217,8 @@ def run_baselines(benchmarks: Sequence[Microbenchmark],
         for mapper in mappers:
             result = mapper.map(design, benchmark.architecture, is_signed=benchmark.signed)
             records.append(MappingRecord(
-                tool="sota" if mapper is not yosys else "yosys",
+                tool=mapper.family,
+                tool_variant=mapper.name,
                 architecture=benchmark.architecture,
                 benchmark=benchmark.name,
                 form=benchmark.form.name,

@@ -1,0 +1,231 @@
+"""Tests for the persistent synthesis cache: cross-process round trips,
+schema-version fallback, corruption quarantine, and the tiered layering."""
+
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cache import SynthesisCache
+from repro.engine.diskcache import (
+    SCHEMA_VERSION,
+    DiskSynthesisCache,
+    TieredSynthesisCache,
+    canonical_key,
+)
+from repro.engine.session import MappingSession
+
+AND4 = ("module f(input [3:0] a, b, output [3:0] out);"
+        " assign out = a & b; endmodule")
+MUL8 = ("module mul(input clk, input [7:0] a, b, output [7:0] out);"
+        " assign out = a * b; endmodule")
+
+KEY = SynthesisCache.key("fingerprint", "sofa", "bitwise", 60.0, 1, True)
+
+
+def _fresh_process_map(cache_dir: Path, print_expr: str) -> str:
+    """Map AND4 with a disk-cached session in a brand-new interpreter."""
+    script = (
+        "from repro.engine.session import MappingSession\n"
+        f"session = MappingSession(cache_dir={str(cache_dir)!r})\n"
+        f"result = session.map_verilog({AND4!r}, template='bitwise',"
+        " arch='sofa', timeout_seconds=60)\n"
+        f"print(({print_expr}))\n"
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout.strip().splitlines()[-1]
+
+
+class TestDiskCacheUnit:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"answer": 42})
+        assert cache.get(KEY) == {"answer": 42}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1, "errors": 0}
+        cache.close()
+
+    def test_entries_survive_reopening(self, tmp_path):
+        first = DiskSynthesisCache(tmp_path)
+        first.put(KEY, [1, 2, 3])
+        first.close()
+        second = DiskSynthesisCache(tmp_path)
+        assert second.get(KEY) == [1, 2, 3]
+        second.close()
+
+    def test_clear_empties_the_database(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(KEY, "value")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+        cache.close()
+
+    def test_canonical_key_is_stable_and_distinct(self):
+        other = SynthesisCache.key("fingerprint", "sofa", "bitwise", 61.0, 1, True)
+        assert canonical_key(KEY) == canonical_key(KEY)
+        assert canonical_key(KEY) != canonical_key(other)
+
+    def test_two_instances_share_one_database(self, tmp_path):
+        """WAL mode: concurrent handles (as sweep workers hold) see each
+        other's writes."""
+        writer = DiskSynthesisCache(tmp_path)
+        reader = DiskSynthesisCache(tmp_path)
+        writer.put(KEY, "shared")
+        assert reader.get(KEY) == "shared"
+        writer.close()
+        reader.close()
+
+
+class TestSchemaAndCorruption:
+    def test_schema_version_mismatch_falls_back_to_empty(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(KEY, "old-schema-value")
+        # Simulate a database written by a different code version.
+        cache._connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),))
+        cache._connection.commit()
+        cache.close()
+
+        reopened = DiskSynthesisCache(tmp_path)
+        assert len(reopened) == 0
+        assert reopened.get(KEY) is None
+        # The new-version cache is fully usable afterwards.
+        reopened.put(KEY, "new-schema-value")
+        assert reopened.get(KEY) == "new-schema-value"
+        reopened.close()
+
+    def test_corrupted_database_is_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "synthesis-cache.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            cache = DiskSynthesisCache(tmp_path)
+        assert path.with_name(path.name + ".corrupt").exists()
+        cache.put(KEY, "recovered")
+        assert cache.get(KEY) == "recovered"
+        cache.close()
+
+    def test_undeserializable_entry_is_dropped_as_miss(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache._connection.execute(
+            "INSERT INTO entries (key, value, created_at) VALUES (?, ?, 0)",
+            (canonical_key(KEY), b"\x80garbage-pickle"))
+        cache._connection.commit()
+        assert cache.get(KEY) is None
+        assert len(cache) == 0  # the bad row was deleted
+        assert cache.stats()["errors"] == 1
+        cache.close()
+
+
+class TestTieredCache:
+    def test_write_through_and_promotion(self, tmp_path):
+        disk = DiskSynthesisCache(tmp_path)
+        tier = TieredSynthesisCache(SynthesisCache(), disk)
+        tier.put(KEY, "value")
+        assert tier.memory.get(KEY) == "value"
+        assert disk.get(KEY) == "value"
+
+        # A cold memory tier (a fresh process) falls through to disk and
+        # promotes the hit.
+        cold = TieredSynthesisCache(SynthesisCache(), DiskSynthesisCache(tmp_path))
+        assert cold.get(KEY) == "value"
+        assert cold.memory.get(KEY) == "value"
+        stats = cold.stats()
+        assert stats["disk_hits"] == 1 and stats["hits"] >= 1
+
+    def test_combined_miss_counts_once(self, tmp_path):
+        tier = TieredSynthesisCache(SynthesisCache(), DiskSynthesisCache(tmp_path))
+        assert tier.get(KEY) is None
+        assert tier.stats()["misses"] == 1
+
+    def test_requires_a_disk_tier(self):
+        with pytest.raises(ValueError):
+            TieredSynthesisCache(SynthesisCache(), None)
+
+
+class TestSessionIntegration:
+    def test_fingerprint_is_process_independent(self):
+        """Regression: commutative-operand canonicalization used to sort by
+        the PYTHONHASHSEED-randomized ``hash()``, so the "canonical" design
+        fingerprint differed between interpreters — silently defeating any
+        cross-process cache."""
+        script = (
+            "from repro.engine.cache import program_fingerprint\n"
+            "from repro.hdl.behavioral import verilog_to_behavioral\n"
+            f"print(program_fingerprint(verilog_to_behavioral({AND4!r}).program))\n"
+        )
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        fingerprints = set()
+        for seed in ("0", "1", "2"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            env["PYTHONHASHSEED"] = seed
+            completed = subprocess.run([sys.executable, "-c", script], env=env,
+                                       capture_output=True, text=True, timeout=120)
+            assert completed.returncode == 0, completed.stderr
+            fingerprints.add(completed.stdout.strip())
+        assert len(fingerprints) == 1
+
+    def test_round_trip_across_two_fresh_processes(self, tmp_path):
+        """The headline property: a second run in a brand-new interpreter
+        is served from the on-disk cache."""
+        cold = _fresh_process_map(tmp_path, "result.status, result.cache_hit")
+        assert cold == "('success', False)"
+        warm = _fresh_process_map(
+            tmp_path,
+            "result.status, result.cache_hit, result.verilog is not None")
+        assert warm == "('success', True, True)"
+
+    def test_explicit_cache_plus_cache_dir_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            MappingSession(cache=SynthesisCache(), cache_dir=tmp_path)
+
+    def test_session_cache_dir_builds_tiered_cache(self, tmp_path):
+        session = MappingSession(cache_dir=tmp_path)
+        assert isinstance(session.cache, TieredSynthesisCache)
+        cold = session.map_verilog(AND4, template="bitwise", arch="sofa",
+                                   timeout_seconds=60)
+        assert not cold.cache_hit
+
+        # A second session over the same directory (same process, fresh
+        # memory tier) hits the disk tier.
+        other = MappingSession(cache_dir=tmp_path)
+        warm = other.map_verilog(AND4, template="bitwise", arch="sofa",
+                                 timeout_seconds=60)
+        assert warm.cache_hit
+        assert warm.status == cold.status
+        assert warm.verilog == cold.verilog
+        assert warm.hole_values == cold.hole_values
+        assert other.cache_stats()["disk_hits"] == 1
+
+    def test_timeouts_are_never_persisted(self, tmp_path):
+        session = MappingSession(cache_dir=tmp_path)
+        first = session.map_verilog(MUL8, template="dsp", arch="intel-cyclone10lp",
+                                    timeout_seconds=0.0, validate=False)
+        assert first.status == "timeout"
+        assert len(session.cache) == 0
+
+        fresh = MappingSession(cache_dir=tmp_path)
+        second = fresh.map_verilog(MUL8, template="dsp", arch="intel-cyclone10lp",
+                                   timeout_seconds=0.0, validate=False)
+        assert second.status == "timeout"
+        assert not second.cache_hit
+
+    def test_disk_hits_are_isolated_from_caller_mutation(self, tmp_path):
+        session = MappingSession(cache_dir=tmp_path)
+        cold = session.map_verilog(AND4, template="bitwise", arch="sofa",
+                                   timeout_seconds=60)
+        cold.hole_values["tampered"] = 1
+        warm = MappingSession(cache_dir=tmp_path).map_verilog(
+            AND4, template="bitwise", arch="sofa", timeout_seconds=60)
+        assert warm.cache_hit
+        assert "tampered" not in warm.hole_values
