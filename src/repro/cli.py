@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist the synthesis cache here (shared across runs)")
     parser.add_argument("--portfolio", default="thread", choices=_PORTFOLIO_KINDS,
                         help="SAT racing style (default: thread)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="thread one persistent CDCL context through each "
+                             "design's CEGIS run (clause reuse across "
+                             "iterations; identical results, less re-solving)")
     parser.add_argument("--stats", action="store_true",
                         help="print cache and solver-portfolio statistics")
     return parser
@@ -94,6 +98,10 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                              "workers and later runs (default: in-memory only)")
     parser.add_argument("--portfolio", default="thread", choices=_PORTFOLIO_KINDS,
                         help="SAT racing style inside each worker (default: thread)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="incremental CEGIS inside each worker: one "
+                             "persistent solver context per design, learned "
+                             "clauses reused across iterations")
     parser.add_argument("--template", default="dsp", choices=available_templates(),
                         help="sketch template to use (default: dsp)")
     parser.add_argument("--timeout", type=float, default=None,
@@ -110,10 +118,32 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    """The ``cache`` subcommand parser: persistent-cache management."""
+    parser = argparse.ArgumentParser(
+        prog="lakeroad cache",
+        description="Inspect and manage a persistent synthesis cache "
+                    "directory (see --cache-dir on map/sweep).")
+    parser.add_argument("action", choices=("stats", "prune", "clear"),
+                        help="stats: entry count and on-disk size; prune: "
+                             "LRU-trim by --max-entries/--max-age-days; "
+                             "clear: drop every entry")
+    parser.add_argument("--cache-dir", required=True,
+                        help="the synthesis cache directory to operate on")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        help="prune: keep at most this many entries "
+                             "(least recently used go first)")
+    parser.add_argument("--max-age-days", type=float, default=None,
+                        help="prune: drop entries unused for this many days")
+    return parser
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _main_sweep(argv[1:])
+    if argv and argv[0] == "cache":
+        return _main_cache(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     return _main_map(argv)
@@ -135,7 +165,8 @@ def _main_map(argv) -> int:
 
     session = MappingSession(enable_cache=not args.no_cache,
                              cache_dir=args.cache_dir,
-                             portfolio=args.portfolio)
+                             portfolio=args.portfolio,
+                             incremental=args.incremental)
     result = session.map_verilog(
         source,
         template=args.template,
@@ -150,6 +181,13 @@ def _main_map(argv) -> int:
     if args.stats:
         print(f"cache: {session.cache_stats()}", file=sys.stderr)
         print(f"portfolio wins: {session.portfolio_wins()}", file=sys.stderr)
+        if result.synthesis is not None and result.synthesis.incremental:
+            synthesis = result.synthesis
+            print(f"incremental: {synthesis.clauses_retained} learned clauses "
+                  f"retained, {synthesis.candidate_conflicts} candidate "
+                  f"conflicts, {synthesis.solver_restarts} budget restart(s) "
+                  f"over {synthesis.cegis_iterations} CEGIS iteration(s)",
+                  file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)
@@ -202,11 +240,13 @@ def _main_sweep(argv) -> int:
 
     config = ExperimentConfig(validate=args.validate, template=args.template,
                               workers=args.workers, cache_dir=args.cache_dir,
-                              portfolio=args.portfolio)
+                              portfolio=args.portfolio,
+                              incremental=args.incremental)
     if args.timeout is not None:
         config.timeout_seconds = {arch: args.timeout for arch in architectures}
     spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
-                       enable_cache=not args.no_cache)
+                       enable_cache=not args.no_cache,
+                       incremental=args.incremental)
 
     result = run_sweep(benchmarks, config, workers=args.workers,
                        session_spec=spec)
@@ -220,6 +260,10 @@ def _main_sweep(argv) -> int:
           f"({result.hit_rate:.0%})", file=sys.stderr)
     print(f"cache: {result.cache_stats}", file=sys.stderr)
     print(f"portfolio wins: {result.portfolio_wins}", file=sys.stderr)
+    if args.incremental:
+        print(f"incremental: {result.clauses_retained} learned clauses "
+              f"retained, {result.solver_restarts} budget restart(s)",
+              file=sys.stderr)
 
     if args.jsonl:
         records_to_jsonl(result.records, args.jsonl)
@@ -234,11 +278,73 @@ def _main_sweep(argv) -> int:
             "hit_rate": result.hit_rate,
             "cache": result.cache_stats,
             "portfolio_wins": result.portfolio_wins,
+            "incremental": args.incremental,
+            "clauses_retained": result.clauses_retained,
+            "solver_restarts": result.solver_restarts,
         }
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were
     # unmappable; only an empty record set is an error (caught above).
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# lakeroad cache
+# --------------------------------------------------------------------------- #
+def _main_cache(argv) -> int:
+    from repro.engine.diskcache import (
+        DB_NAME,
+        SCHEMA_VERSION,
+        DiskSynthesisCache,
+        peek_entry_count,
+        peek_schema_version,
+    )
+
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    directory = Path(args.cache_dir)
+    if not (directory / DB_NAME).exists():
+        print(f"no synthesis cache database under {directory}", file=sys.stderr)
+        return 1
+    if args.action == "prune" and args.max_entries is None \
+            and args.max_age_days is None:
+        parser.error("prune needs --max-entries and/or --max-age-days")
+    stored_version = peek_schema_version(directory)
+    if stored_version != SCHEMA_VERSION and args.action != "clear":
+        # Opening the cache for stats/prune would run the schema migration,
+        # which drops every (unreadable-by-this-version) entry — far too
+        # destructive for an inspection command.
+        print(f"cache database has schema version {stored_version}, this "
+              f"version reads {SCHEMA_VERSION}; its entries are unusable "
+              "here.  Run 'lakeroad cache clear' to reset it.",
+              file=sys.stderr)
+        return 1
+    # Count before constructing: on an old-schema database the constructor
+    # itself drops the entries table, and clear must still report honestly
+    # how many entries the reset discarded.
+    cleared = peek_entry_count(directory) or 0
+
+    cache = DiskSynthesisCache(directory)
+    try:
+        if args.action == "stats":
+            entries = len(cache)
+            size = cache.size_bytes()
+            print(f"entries: {entries}")
+            print(f"size: {size} bytes ({size / 1e6:.2f} MB)")
+            return 0
+        if args.action == "prune":
+            max_age = args.max_age_days * 86400.0 \
+                if args.max_age_days is not None else None
+            removed = cache.prune(max_entries=args.max_entries,
+                                  max_age_seconds=max_age)
+            print(f"pruned {removed} entries; {len(cache)} remain "
+                  f"({cache.size_bytes() / 1e6:.2f} MB on disk)")
+            return 0
+        cache.clear()
+        print(f"cleared {cleared} entries")
+        return 0
+    finally:
+        cache.close()
 
 
 if __name__ == "__main__":

@@ -45,6 +45,15 @@ class SynthesisOutcome:
     time_seconds: float = 0.0
     candidate_strategy: str = "none"
     verify_strategy: str = "none"
+    #: Whether the candidate step ran on one persistent solver session.
+    incremental: bool = False
+    #: Why a run degraded to ``unknown`` (empty for clean outcomes).
+    diagnostic: str = ""
+    #: Incremental-session statistics (all zero in from-scratch mode).
+    solver_restarts: int = 0
+    candidate_conflicts: int = 0
+    candidate_time_seconds: float = 0.0
+    clauses_retained: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -66,13 +75,16 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
               timeout_seconds: Optional[float] = None,
               solver: Optional[SmtSolver] = None,
               check_inputs: bool = True,
-              budget: Optional[Budget] = None) -> SynthesisOutcome:
+              budget: Optional[Budget] = None,
+              incremental: bool = False) -> SynthesisOutcome:
     """Synthesize a ``t``-cycle implementation of ``design`` guided by ``sketch``,
     equivalent over the window ``at_time .. at_time + cycles``.
 
     The time budget can be given either as a started :class:`Budget` (the
     mapping session's, so sketch-generation time already counts against it)
-    or as a plain ``timeout_seconds`` convenience.
+    or as a plain ``timeout_seconds`` convenience.  ``incremental`` selects
+    the persistent-solver CEGIS mode (clause reuse across iterations); the
+    outcome's statuses and hole values are the same either way.
     """
     start = time.monotonic()
     if budget is None:
@@ -99,6 +111,7 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         hole_constraints=list(sketch.hole_constraints),
         budget=budget,
         solver=solver,
+        incremental=incremental,
     )
 
     outcome = SynthesisOutcome(
@@ -107,6 +120,12 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         time_seconds=time.monotonic() - start,
         candidate_strategy=cegis.candidate_strategy,
         verify_strategy=cegis.verify_strategy,
+        incremental=cegis.incremental,
+        diagnostic=cegis.diagnostic,
+        solver_restarts=cegis.solver_restarts,
+        candidate_conflicts=cegis.candidate_conflicts,
+        candidate_time_seconds=cegis.candidate_time_seconds,
+        clauses_retained=cegis.clauses_retained,
     )
     if not cegis.succeeded:
         return outcome

@@ -126,17 +126,52 @@ def _run_dpll(cnf: CNF, deadline: Optional[float], assumptions: Sequence[int],
     return DPLLSolver(cnf, deadline=deadline, should_stop=should_stop).solve(assumptions)
 
 
+def cdcl_config(**options) -> Callable[..., SatResult]:
+    """A CDCL backend body with a fixed solver configuration.
+
+    ``options`` are :class:`~repro.sat.solver.CDCLSolver` keyword knobs
+    (``var_decay``, ``default_phase``, ``phase_saving``, ``branching``,
+    ``restart_policy``, ``restart_base``) — the levers that make portfolio
+    members behave genuinely differently on the same formula.
+    """
+    def run(cnf: CNF, deadline: Optional[float], assumptions: Sequence[int],
+            should_stop: Optional[Callable[[], bool]] = None) -> SatResult:
+        return CDCLSolver(cnf, deadline=deadline, should_stop=should_stop,
+                          **options).solve(assumptions)
+    return run
+
+
 register_backend(SolverBackend(
     "cdcl", _run_cdcl,
     description="two-watched-literal CDCL with VSIDS and Luby restarts"))
-# The DPLL fallback joins the race only once a query looks genuinely stuck
-# (60 s in, or half the remaining budget, whichever is sooner): under the
-# GIL, CPU-bound members time-share a core, so an eager second engine
-# roughly halves the primary's throughput — and a race winner's model
-# steers CEGIS counterexamples, so eager racing also makes synthesis
-# trajectories timing-dependent.  A multiprocess portfolio (true
-# parallelism, no stagger needed) is a ROADMAP follow-on.
+# The fallback members join a *thread* race only once a query looks
+# genuinely stuck (60 s in, or half the remaining budget, whichever is
+# sooner): under the GIL, CPU-bound members time-share a core, so an eager
+# second engine roughly halves the primary's throughput — and a race
+# winner's model steers CEGIS counterexamples, so eager racing also makes
+# synthesis trajectories timing-dependent.  The *process* portfolio
+# ignores the stagger and races every default member immediately (true
+# parallelism), which is where the diversified configurations below earn
+# their keep: restart cadence, phase polarity and branching order are the
+# axes on which CDCL run times diverge by orders of magnitude, so a wide
+# race hedges against any single configuration's pathological case.
 register_backend(SolverBackend(
     "dpll", _run_dpll,
     description="iterative DPLL with unit propagation and pure literals",
+    stagger=60.0))
+register_backend(SolverBackend(
+    "cdcl-agile", cdcl_config(restart_base=8, var_decay=0.85),
+    description="CDCL with rapid Luby restarts and fast activity decay "
+                "(recovers quickly from bad early decisions)",
+    stagger=60.0))
+register_backend(SolverBackend(
+    "cdcl-stable", cdcl_config(restart_policy="geometric", restart_base=128,
+                               default_phase=True),
+    description="CDCL with long geometric restarts and positive phase "
+                "init (commits to deep searches, favours sat answers)",
+    stagger=60.0))
+register_backend(SolverBackend(
+    "cdcl-static", cdcl_config(branching="static", phase_saving=False),
+    description="CDCL branching in fixed variable order with fixed "
+                "negative polarity (finds the lex-smallest model first)",
     stagger=60.0))

@@ -40,19 +40,69 @@ from typing import Any, Dict, Hashable, Optional
 
 from repro.engine.cache import SynthesisCache
 
-__all__ = ["SCHEMA_VERSION", "DiskSynthesisCache", "TieredSynthesisCache"]
+__all__ = ["SCHEMA_VERSION", "DB_NAME", "DiskSynthesisCache",
+           "TieredSynthesisCache", "peek_schema_version", "peek_entry_count"]
 
 #: Bump whenever the stored value shape (or the key derivation) changes in a
 #: way that makes old entries unusable; mismatched databases fall back to
-#: empty instead of deserializing stale results.
-SCHEMA_VERSION = 1
+#: empty instead of deserializing stale results.  v2: SynthesisOutcome grew
+#: the incremental-CEGIS statistics fields and the entries table gained a
+#: ``last_used_at`` column for LRU eviction.
+SCHEMA_VERSION = 2
 
-_DB_NAME = "synthesis-cache.sqlite"
+#: The database filename inside a cache directory (the CLI and the session
+#: must agree on it).
+DB_NAME = "synthesis-cache.sqlite"
+_DB_NAME = DB_NAME  # historical alias
 
 
 def canonical_key(key: Hashable) -> str:
     """A stable text form of a cache key (tuples become JSON arrays)."""
     return json.dumps(key, sort_keys=True, default=repr)
+
+
+def peek_schema_version(directory, db_name: str = DB_NAME) -> Optional[int]:
+    """Read a cache database's schema version without opening it for
+    writing (and therefore without triggering the schema migration, which
+    drops unreadable entries).  Returns None if the database is missing,
+    unreadable, or carries no version stamp."""
+    path = Path(directory) / db_name
+    if not path.exists():
+        return None
+    try:
+        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
+                                     timeout=5.0)
+    except sqlite3.Error:
+        return None
+    try:
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        return int(row[0]) if row is not None else None
+    except (sqlite3.Error, ValueError):
+        return None
+    finally:
+        connection.close()
+
+
+def peek_entry_count(directory, db_name: str = DB_NAME) -> Optional[int]:
+    """Count a cache database's entries without opening it for writing
+    (works on any schema version that has an ``entries`` table).  Returns
+    None if the database is missing or unreadable."""
+    path = Path(directory) / db_name
+    if not path.exists():
+        return None
+    try:
+        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
+                                     timeout=5.0)
+    except sqlite3.Error:
+        return None
+    try:
+        row = connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        return int(row[0])
+    except sqlite3.Error:
+        return None
+    finally:
+        connection.close()
 
 
 class DiskSynthesisCache:
@@ -63,15 +113,26 @@ class DiskSynthesisCache:
     must accelerate runs, never abort them.
     """
 
-    def __init__(self, directory, db_name: str = _DB_NAME) -> None:
+    def __init__(self, directory, db_name: str = _DB_NAME,
+                 max_entries: Optional[int] = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / db_name
+        #: Size cap: a put that grows the table past this evicts the
+        #: least-recently-used entries back down to the cap.  None means
+        #: unbounded (the historical behavior); ``lakeroad cache prune``
+        #: offers one-shot trimming for unbounded caches.
+        self.max_entries = max_entries
         self._lock = threading.Lock()
         self._connection: Optional[sqlite3.Connection] = None
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.evictions = 0
+        #: Recency updates buffered by ``get`` (key -> last-use time) and
+        #: flushed on the next write operation (put/prune/close): hits stay
+        #: pure reads instead of each taking sqlite's single-writer lock.
+        self._dirty_recency: Dict[str, float] = {}
         #: Local estimate of the entry count, so the per-query stats path
         #: never runs COUNT(*); exact at open and after len(), drifts only
         #: on key overwrites and on other processes' concurrent writes.
@@ -98,18 +159,22 @@ class DiskSynthesisCache:
             connection.execute("PRAGMA busy_timeout=30000")
             connection.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)")
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS entries ("
-                " key TEXT PRIMARY KEY, value BLOB NOT NULL, created_at REAL NOT NULL)")
             row = connection.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
             if row is None or row[0] != str(SCHEMA_VERSION):
-                # Entries written under another schema are unusable; start
-                # empty rather than deserializing stale shapes.
-                connection.execute("DELETE FROM entries")
+                # Entries written under another schema are unusable (and may
+                # even have different columns); start empty rather than
+                # deserializing stale shapes.
+                connection.execute("DROP TABLE IF EXISTS entries")
                 connection.execute(
                     "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)))
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " key TEXT PRIMARY KEY, value BLOB NOT NULL,"
+                " created_at REAL NOT NULL, last_used_at REAL NOT NULL)")
+            connection.execute(
+                "CREATE INDEX IF NOT EXISTS entries_lru ON entries(last_used_at)")
             connection.commit()
         except BaseException:
             connection.close()
@@ -144,6 +209,7 @@ class DiskSynthesisCache:
 
     def close(self) -> None:
         with self._lock:
+            self._flush_recency()
             if self._connection is not None:
                 try:
                     self._connection.close()
@@ -185,8 +251,23 @@ class DiskSynthesisCache:
                 except sqlite3.Error:
                     pass
                 return None
+            self._dirty_recency[text_key] = time.time()
             self.hits += 1
             return value
+
+    def _flush_recency(self) -> None:
+        """Persist buffered last-use times (called with the lock held)."""
+        if not self._dirty_recency or self._connection is None:
+            return
+        updates = [(used_at, key)
+                   for key, used_at in self._dirty_recency.items()]
+        self._dirty_recency.clear()
+        try:
+            self._connection.executemany(
+                "UPDATE entries SET last_used_at = ? WHERE key = ?", updates)
+            self._connection.commit()
+        except sqlite3.Error:
+            pass  # recency is best-effort; worst case the LRU order coarsens
 
     def put(self, key: Hashable, value: Any) -> None:
         text_key = canonical_key(key)
@@ -198,14 +279,90 @@ class DiskSynthesisCache:
         with self._lock:
             if self._connection is None:
                 return
+            self._flush_recency()
             try:
+                now = time.time()
                 self._connection.execute(
-                    "INSERT OR REPLACE INTO entries (key, value, created_at) "
-                    "VALUES (?, ?, ?)", (text_key, blob, time.time()))
+                    "INSERT OR REPLACE INTO entries "
+                    "(key, value, created_at, last_used_at) "
+                    "VALUES (?, ?, ?, ?)", (text_key, blob, now, now))
                 self._connection.commit()
                 self._entry_estimate += 1
             except sqlite3.Error:
                 self.errors += 1
+                return
+            if self.max_entries is not None and \
+                    self._entry_estimate > self.max_entries:
+                self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        """Delete least-recently-used entries beyond ``max_entries``.
+
+        Called with the lock held.  Uses the exact count (the estimate may
+        drift under overwrites and concurrent writers) and is best-effort:
+        an eviction failure degrades to an oversized cache, never an error.
+        """
+        try:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM entries").fetchone()
+            count = int(row[0])
+            excess = count - self.max_entries
+            if excess > 0:
+                self._connection.execute(
+                    "DELETE FROM entries WHERE key IN ("
+                    " SELECT key FROM entries"
+                    " ORDER BY last_used_at ASC, created_at ASC, key ASC"
+                    " LIMIT ?)", (excess,))
+                self._connection.commit()
+                self.evictions += excess
+                count -= excess
+            self._entry_estimate = count
+        except sqlite3.Error:
+            self.errors += 1
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age_seconds: Optional[float] = None) -> int:
+        """One-shot trim: drop entries unused for ``max_age_seconds`` and/or
+        LRU-evict down to ``max_entries``.  Returns the number removed."""
+        removed = 0
+        with self._lock:
+            if self._connection is None:
+                return 0
+            self._flush_recency()
+            try:
+                if max_age_seconds is not None:
+                    cursor = self._connection.execute(
+                        "DELETE FROM entries WHERE last_used_at < ?",
+                        (time.time() - max_age_seconds,))
+                    removed += cursor.rowcount if cursor.rowcount > 0 else 0
+                if max_entries is not None:
+                    row = self._connection.execute(
+                        "SELECT COUNT(*) FROM entries").fetchone()
+                    excess = int(row[0]) - max_entries
+                    if excess > 0:
+                        self._connection.execute(
+                            "DELETE FROM entries WHERE key IN ("
+                            " SELECT key FROM entries"
+                            " ORDER BY last_used_at ASC, created_at ASC, key ASC"
+                            " LIMIT ?)", (excess,))
+                        removed += excess
+                self._connection.commit()
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()
+                self._entry_estimate = int(row[0])
+            except sqlite3.Error:
+                self.errors += 1
+        return removed
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of the database (plus WAL sidecar)."""
+        total = 0
+        for path in (self.path, Path(f"{self.path}-wal")):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> None:
         with self._lock:
@@ -213,6 +370,7 @@ class DiskSynthesisCache:
             self.misses = 0
             self.errors = 0
             self._entry_estimate = 0
+            self._dirty_recency.clear()
             if self._connection is None:
                 return
             try:
@@ -246,7 +404,8 @@ class DiskSynthesisCache:
         shared count.
         """
         return {"hits": self.hits, "misses": self.misses,
-                "entries": self._entry_estimate, "errors": self.errors}
+                "entries": self._entry_estimate, "errors": self.errors,
+                "evictions": self.evictions}
 
 
 class TieredSynthesisCache:
@@ -282,6 +441,12 @@ class TieredSynthesisCache:
     def clear(self) -> None:
         self.memory.clear()
         self.disk.clear()
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age_seconds: Optional[float] = None) -> int:
+        """Trim the disk tier; the in-memory LRU is already size-capped."""
+        return self.disk.prune(max_entries=max_entries,
+                               max_age_seconds=max_age_seconds)
 
     def close(self) -> None:
         self.disk.close()

@@ -54,17 +54,20 @@ class SessionSpec:
     portfolio: str = "thread"
     cache_dir: Optional[str] = None
     enable_cache: bool = True
+    incremental: bool = False
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "SessionSpec":
-        return cls(portfolio=config.portfolio, cache_dir=config.cache_dir)
+        return cls(portfolio=config.portfolio, cache_dir=config.cache_dir,
+                   incremental=config.incremental)
 
     def build(self):
         from repro.engine.session import MappingSession
 
         return MappingSession(portfolio=self.portfolio,
                               cache_dir=self.cache_dir,
-                              enable_cache=self.enable_cache)
+                              enable_cache=self.enable_cache,
+                              incremental=self.incremental)
 
 
 @dataclass
@@ -89,6 +92,22 @@ class SweepResult:
     @property
     def hit_rate(self) -> float:
         return self.record_cache_hits / len(self.records) if self.records else 0.0
+
+    @property
+    def clauses_retained(self) -> int:
+        """Learned clauses the incremental sessions carried across CEGIS
+        iterations, summed over the records that actually ran synthesis
+        (cache hits replay the original outcome's counters and would
+        otherwise claim solver work that never happened this run)."""
+        return sum(record.clauses_retained for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def solver_restarts(self) -> int:
+        """Budget-aware incremental-session restarts, summed over the
+        records that actually ran synthesis this run."""
+        return sum(record.solver_restarts for record in self.records
+                   if not record.cache_hit)
 
     def outcome_counts(self) -> Dict[str, int]:
         counts: Counter = Counter(record.outcome for record in self.records)

@@ -139,8 +139,15 @@ class MappingSession:
                  solver: Optional[SmtSolver] = None,
                  cache: Optional[SynthesisCache] = None,
                  enable_cache: bool = True,
-                 cache_dir=None) -> None:
+                 cache_dir=None,
+                 incremental: bool = False,
+                 cache_max_entries: Optional[int] = None) -> None:
         self.library = library if library is not None else PrimitiveLibrary()
+        #: Run the CEGIS candidate step on one persistent solver session per
+        #: design (clause reuse across iterations).  Results are identical
+        #: to from-scratch mode; only synthesis time changes, so cached
+        #: results are shared between the two modes.
+        self.incremental = incremental
         if isinstance(portfolio, str):
             portfolio = make_portfolio(portfolio)
         if portfolio is None and solver is not None:
@@ -155,7 +162,9 @@ class MappingSession:
                              "mean nothing ever persists)")
         if cache is None:
             memory = SynthesisCache()
-            cache = TieredSynthesisCache(memory, DiskSynthesisCache(cache_dir)) \
+            cache = TieredSynthesisCache(
+                memory, DiskSynthesisCache(cache_dir,
+                                           max_entries=cache_max_entries)) \
                 if cache_dir is not None else memory
         self.cache = cache
         self.enable_cache = enable_cache
@@ -274,7 +283,8 @@ class MappingSession:
         at_time = design.pipeline_depth
         outcome = f_lr_star(sketch, design.program, at_time=at_time,
                             cycles=extra_cycles, budget=budget,
-                            solver=self.solver)
+                            solver=self.solver,
+                            incremental=self.incremental)
 
         result = LakeroadResult(
             status=budget_mod.mapping_status(outcome.status),

@@ -55,6 +55,10 @@ class ExperimentConfig:
     #: SAT racing style for the sessions this config builds:
     #: ``"thread"``, ``"process"`` or ``"sequential"``.
     portfolio: str = "thread"
+    #: Run the CEGIS candidate step on one persistent solver session per
+    #: design (learned clauses reused across iterations).  Statuses and
+    #: hole values are identical to from-scratch mode.
+    incremental: bool = False
 
     def timeout_for(self, architecture: str) -> float:
         return budget_mod.timeout_for(architecture, self.timeout_seconds)
@@ -80,6 +84,11 @@ class MappingRecord:
     #: The concrete mapper that produced the record (e.g. ``sota-lattice``)
     #: when ``tool`` is a family label like ``sota``; empty otherwise.
     tool_variant: str = ""
+    #: Whether synthesis ran on a persistent (incremental) solver session,
+    #: and the per-run incremental statistics (zero in from-scratch mode).
+    incremental: bool = False
+    clauses_retained: int = 0
+    solver_restarts: int = 0
 
     @property
     def mapped(self) -> bool:
@@ -138,6 +147,7 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         use_cache=config.use_cache,
     )
     resources = result.resources
+    synthesis = result.synthesis
     return MappingRecord(
         tool="lakeroad",
         architecture=benchmark.architecture,
@@ -152,6 +162,9 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         luts=resources.luts if resources else 0,
         registers=resources.registers if resources else 0,
         cache_hit=result.cache_hit,
+        incremental=synthesis.incremental if synthesis else False,
+        clauses_retained=synthesis.clauses_retained if synthesis else 0,
+        solver_restarts=synthesis.solver_restarts if synthesis else 0,
     )
 
 
@@ -183,7 +196,8 @@ def run_lakeroad(benchmarks: Sequence[Microbenchmark],
 
         return run_lakeroad_parallel(benchmarks, config, workers=workers)
     if session is None:
-        if config.cache_dir is not None or config.portfolio != "thread":
+        if config.cache_dir is not None or config.portfolio != "thread" \
+                or config.incremental:
             # The config asks for a non-default session; honour it instead
             # of silently dropping the knobs on the serial path.  The
             # session is ours, so release its disk-cache handle when done.

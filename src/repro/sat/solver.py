@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""An incremental CDCL SAT solver.
 
 This is the main engine behind the reproduction's QF_BV solving (the role
 Bitwuzla/STP/Yices2 play in the paper's portfolio).  It implements the
@@ -8,17 +8,35 @@ standard modern architecture:
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
 * exponential VSIDS activity-based branching with phase saving,
-* Luby-sequence restarts,
+* Luby-sequence (or geometric) restarts,
 * deadline support so callers can impose per-query timeouts (the paper's
   120 s / 40 s / 20 s per-architecture synthesis budgets).
+
+The solver is *incremental*: :meth:`CDCLSolver.add_clause` may be called
+after a :meth:`CDCLSolver.solve`, and repeated ``solve(assumptions=...)``
+calls reuse the learned-clause database, variable activities and saved
+phases of earlier calls.  When a query is unsatisfiable under assumptions,
+:attr:`CDCLSolver.last_core` holds the subset of assumption literals
+responsible (the final-conflict analysis of MiniSat's ``analyzeFinal``).
+This is what lets one solver context survive a whole CEGIS run instead of
+being cold-started every iteration.
+
+The branching/restart/phase behavior is configurable so the backend
+registry can race genuinely diversified members.  The ``branching="static"``
++ ``phase_saving=False`` configuration is special: decisions always pick
+the smallest unassigned variable and assign the fixed ``default_phase``, so
+the first model found is the lexicographically smallest satisfying
+assignment.  That model is *canonical* — independent of which entailed
+learned clauses happen to be in the database — which is what makes a warm
+incremental solver and a cold from-scratch solver return identical models
+on identical formulas (the equality guarantee incremental CEGIS relies on).
 """
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sat.cnf import CNF
 
@@ -61,17 +79,123 @@ def _luby(i: int) -> int:
         i = i - (1 << (k - 1)) + 1
 
 
-class CDCLSolver:
-    """Conflict-driven clause-learning SAT solver over a :class:`CNF`."""
+class _VarOrder:
+    """Indexed binary max-heap over variable activities (MiniSat's order heap).
 
-    def __init__(self, cnf: CNF, deadline: Optional[float] = None,
-                 should_stop: Optional[Callable[[], bool]] = None) -> None:
+    Each variable appears at most once (a position map supports in-place
+    sift-up on activity bumps), unlike a lazy ``heapq`` of duplicated
+    entries, which degenerates badly on deep-trail circuit CNFs where every
+    backjump re-inserts thousands of variables.  Priority is highest
+    activity first, ties broken toward the smallest variable index — the
+    same selection order as the lazy-heap implementation it replaces.
+    """
+
+    __slots__ = ("activity", "heap", "pos")
+
+    def __init__(self, activity: Dict[int, float]) -> None:
+        self.activity = activity
+        self.heap: List[int] = []
+        self.pos: Dict[int, int] = {}
+
+    def _precedes(self, a: int, b: int) -> bool:
+        activity = self.activity
+        aa = activity.get(a, 0.0)
+        ab = activity.get(b, 0.0)
+        return aa > ab or (aa == ab and a < b)
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos = self.heap, self.pos
+        var = heap[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if not self._precedes(var, heap[parent]):
+                break
+            heap[i] = heap[parent]
+            pos[heap[i]] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos = self.heap, self.pos
+        size = len(heap)
+        var = heap[i]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and self._precedes(heap[right], heap[left]):
+                best = right
+            if not self._precedes(heap[best], var):
+                break
+            heap[i] = heap[best]
+            pos[heap[i]] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
+
+    def insert(self, var: int) -> None:
+        if var in self.pos:
+            return
+        self.heap.append(var)
+        self._sift_up(len(self.heap) - 1)
+
+    def bumped(self, var: int) -> None:
+        """Re-establish the heap order after ``var``'s activity increased."""
+        i = self.pos.get(var)
+        if i is not None:
+            self._sift_up(i)
+
+    def pop(self) -> Optional[int]:
+        heap, pos = self.heap, self.pos
+        if not heap:
+            return None
+        top = heap[0]
+        del pos[top]
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT solver over a :class:`CNF`.
+
+    ``cnf`` may be omitted to start from an empty clause database and grow
+    it with :meth:`add_clause` (the incremental usage).  The constructor
+    copies clauses, so the input CNF is never mutated by the solver's watch
+    reordering.
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None, deadline: Optional[float] = None,
+                 should_stop: Optional[Callable[[], bool]] = None, *,
+                 var_decay: float = 0.95,
+                 default_phase: bool = False,
+                 phase_saving: bool = True,
+                 branching: str = "vsids",
+                 restart_policy: str = "luby",
+                 restart_base: int = 32) -> None:
+        if branching not in ("vsids", "static"):
+            raise ValueError(f"unknown branching heuristic {branching!r}")
+        if restart_policy not in ("luby", "geometric"):
+            raise ValueError(f"unknown restart policy {restart_policy!r}")
         self.cnf = cnf
         self.deadline = deadline
         #: Optional cancellation hook: the portfolio race sets this so losing
         #: members stop burning CPU once a winner has answered.
         self.should_stop = should_stop
-        self.num_vars = cnf.num_vars
+        self.num_vars = cnf.num_vars if cnf is not None else 0
+
+        self.var_decay = var_decay
+        self.default_phase = default_phase
+        self.phase_saving = phase_saving
+        self.branching = branching
+        self.restart_policy = restart_policy
+        self.restart_base = restart_base
 
         # Clause database: list of clauses (lists of literals).
         self.clauses: List[List[int]] = []
@@ -85,26 +209,83 @@ class CDCLSolver:
         self.trail_lim: List[int] = []
         self.propagation_head = 0
 
-        # VSIDS with a lazy max-heap of (negated activity, var).
+        # VSIDS over an indexed max-heap (no duplicate entries).
         self.activity: Dict[int, float] = {v: 0.0 for v in range(1, self.num_vars + 1)}
         self.var_inc = 1.0
-        self.var_decay = 0.95
         self.phase: Dict[int, bool] = {}
-        self._order_heap: List[Tuple[float, int]] = [(0.0, v) for v in range(1, self.num_vars + 1)]
-        heapq.heapify(self._order_heap)
+        self._order = _VarOrder(self.activity)
+        for v in range(1, self.num_vars + 1):
+            self._order.insert(v)
+        # Static branching walks variables in index order; the cursor only
+        # ever needs to move back when backtracking unassigns a smaller var.
+        self._static_cursor = 1
 
         self.stats = SatResult(status="unknown")
+        #: Cumulative counters surviving across ``solve`` calls (the
+        #: incremental-session statistics).
+        self.learned_count = 0
+        self.total_conflicts = 0
+        self.solve_calls = 0
+        #: After an unsat answer under assumptions: the subset of assumption
+        #: literals whose conjunction is inconsistent with the clauses.
+        self.last_core: Optional[List[int]] = None
         self._ok = True
 
-        for clause in cnf.clauses:
-            if not self._add_clause(list(clause)):
-                self._ok = False
-                break
+        if cnf is not None:
+            for clause in cnf.clauses:
+                if not self._add_clause(list(clause)):
+                    self._ok = False
+                    break
 
     # ------------------------------------------------------------------ #
     # Clause database
     # ------------------------------------------------------------------ #
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable universe (new AIG nodes in a shared namespace)."""
+        for var in range(self.num_vars + 1, num_vars + 1):
+            self.activity[var] = 0.0
+            self._order.insert(var)
+        self.num_vars = max(self.num_vars, num_vars)
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause to a (possibly already solved-on) solver.
+
+        This is the incremental entry point: the solver first backtracks to
+        decision level 0, then attaches the clause with the root-level
+        assignment taken into account — literals already false at level 0
+        are dropped (they are false forever), and a clause already satisfied
+        at level 0 is skipped entirely.  Returns ``False`` once the clause
+        database has become unsatisfiable.
+        """
+        self._cancel_until(0)
+        clause = [int(lit) for lit in literals]
+        if clause:
+            self.ensure_vars(max(abs(lit) for lit in clause))
+        clause = list(dict.fromkeys(clause))
+        if any(-lit in clause for lit in clause):
+            return self._ok  # tautology
+        reduced: List[int] = []
+        for lit in clause:
+            value = self._value(lit)
+            if value is True:
+                return self._ok  # satisfied at level 0 forever
+            if value is None:
+                reduced.append(lit)
+        if not reduced:
+            self._ok = False
+            return False
+        if len(reduced) == 1:
+            if not self._enqueue(reduced[0], None):
+                self._ok = False
+            return self._ok
+        index = len(self.clauses)
+        self.clauses.append(reduced)
+        self.watches.setdefault(reduced[0], []).append(index)
+        self.watches.setdefault(reduced[1], []).append(index)
+        return self._ok
+
     def _add_clause(self, clause: List[int], learnt: bool = False) -> bool:
+        """Construction-time clause attachment (level 0, trail unpropagated)."""
         clause = list(dict.fromkeys(clause))
         if any(-lit in clause for lit in clause):
             return True  # tautology
@@ -146,48 +327,89 @@ class CDCLSolver:
     # Propagation
     # ------------------------------------------------------------------ #
     def _propagate(self) -> Optional[int]:
-        """Unit propagation; returns a conflicting clause index or None."""
-        while self.propagation_head < len(self.trail):
-            lit = self.trail[self.propagation_head]
-            self.propagation_head += 1
-            self.stats.propagations += 1
+        """Unit propagation; returns a conflicting clause index or None.
+
+        This is the solver's hot loop (it dominates wall time on every
+        bit-blasted query), so the attribute lookups and the two-watched
+        literal value tests are manually inlined with hoisted locals.  The
+        logic — and therefore the search trajectory — is identical to the
+        straightforward form it replaced.
+        """
+        assignment = self.assignment
+        trail = self.trail
+        clauses = self.clauses
+        watches = self.watches
+        levels = self.level
+        reasons = self.reason
+        current_level = len(self.trail_lim)
+        head = self.propagation_head
+        processed = 0
+        result: Optional[int] = None
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
+            processed += 1
             false_lit = -lit
-            watch_list = self.watches.get(false_lit, [])
+            watch_list = watches.get(false_lit)
+            if not watch_list:
+                continue
             new_watch_list: List[int] = []
             i = 0
+            n = len(watch_list)
             conflict: Optional[int] = None
-            while i < len(watch_list):
+            while i < n:
                 clause_index = watch_list[i]
                 i += 1
-                clause = self.clauses[clause_index]
+                clause = clauses[clause_index]
                 # Ensure the false literal is in position 1.
                 if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
                 first = clause[0]
-                if self._value(first) is True:
+                first_var = first if first > 0 else -first
+                first_value = assignment.get(first_var)
+                if first_value is not None and \
+                        (first_value if first > 0 else not first_value):
                     new_watch_list.append(clause_index)
                     continue
-                # Look for a replacement watch.
+                # Look for a replacement watch (any non-false literal).
                 found = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches.setdefault(clause[1], []).append(clause_index)
+                    other = clause[k]
+                    other_var = other if other > 0 else -other
+                    other_value = assignment.get(other_var)
+                    if other_value is None or \
+                            (other_value if other > 0 else not other_value):
+                        clause[1] = other
+                        clause[k] = false_lit
+                        other_watches = watches.get(other)
+                        if other_watches is None:
+                            watches[other] = [clause_index]
+                        else:
+                            other_watches.append(clause_index)
                         found = True
                         break
                 if found:
                     continue
                 new_watch_list.append(clause_index)
-                if self._value(first) is False:
-                    # Conflict: copy the remaining watches back and report.
+                if first_value is not None:
+                    # First is false too: conflict.  Copy the remaining
+                    # watches back and report.
                     new_watch_list.extend(watch_list[i:])
                     conflict = clause_index
                     break
-                self._enqueue(first, clause_index)
-            self.watches[false_lit] = new_watch_list
+                # Unit: enqueue first with this clause as its reason.
+                assignment[first_var] = first > 0
+                levels[first_var] = current_level
+                reasons[first_var] = clause_index
+                trail.append(first)
+            watches[false_lit] = new_watch_list
             if conflict is not None:
-                return conflict
-        return None
+                result = conflict
+                break
+        self.propagation_head = head
+        self.stats.propagations += processed
+        return result
 
     # ------------------------------------------------------------------ #
     # Conflict analysis (first UIP)
@@ -233,17 +455,39 @@ class CDCLSolver:
             backjump_level = levels[0]
         return learnt, backjump_level
 
+    def _analyze_final(self, seed_lits: Sequence[int],
+                       extra: Optional[int] = None) -> List[int]:
+        """Assumption literals responsible for a root-level-with-assumptions
+        conflict (MiniSat's ``analyzeFinal``): walk the implication graph
+        from the conflicting literals down to the assumption decisions.
+        """
+        core: List[int] = [] if extra is None else [extra]
+        seen = set()
+        stack = [abs(lit) for lit in seed_lits]
+        while stack:
+            var = stack.pop()
+            if var in seen or self.level.get(var, 0) == 0:
+                continue
+            seen.add(var)
+            reason_index = self.reason.get(var)
+            if reason_index is None:
+                # A decision below/at the assumption level is an assumption.
+                core.append(var if self.assignment[var] else -var)
+            else:
+                stack.extend(abs(lit) for lit in self.clauses[reason_index]
+                             if abs(lit) != var)
+        return core
+
     def _bump_activity(self, var: int) -> None:
         self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
         if self.activity[var] > 1e100:
+            # Uniform rescaling preserves the relative order of every
+            # *other* pair; the variable just bumped still needs its sift.
             for v in self.activity:
                 self.activity[v] *= 1e-100
             self.var_inc *= 1e-100
-            self._order_heap = [(-self.activity[v], v) for v in self.activity
-                                if v not in self.assignment]
-            heapq.heapify(self._order_heap)
-        else:
-            heapq.heappush(self._order_heap, (-self.activity[var], var))
+        if self.branching == "vsids":
+            self._order.bumped(var)
 
     def _decay_activity(self) -> None:
         self.var_inc /= self.var_decay
@@ -255,13 +499,18 @@ class CDCLSolver:
         if self._decision_level() <= target_level:
             return
         boundary = self.trail_lim[target_level]
+        lowest = self._static_cursor
         for lit in reversed(self.trail[boundary:]):
             var = abs(lit)
             self.phase[var] = self.assignment[var]
             del self.assignment[var]
             del self.level[var]
             self.reason.pop(var, None)
-            heapq.heappush(self._order_heap, (-self.activity.get(var, 0.0), var))
+            if var < lowest:
+                lowest = var
+            if self.branching == "vsids":
+                self._order.insert(var)
+        self._static_cursor = lowest
         del self.trail[boundary:]
         del self.trail_lim[target_level:]
         self.propagation_head = min(self.propagation_head, len(self.trail))
@@ -270,55 +519,110 @@ class CDCLSolver:
     # Branching
     # ------------------------------------------------------------------ #
     def _pick_branch_variable(self) -> Optional[int]:
-        # Lazy-deletion heap: entries may be stale (already assigned or with
-        # an outdated activity); pop until a fresh unassigned entry appears.
-        while self._order_heap:
-            negated_activity, var = heapq.heappop(self._order_heap)
-            if var in self.assignment:
-                continue
-            if -negated_activity != self.activity.get(var, 0.0):
-                heapq.heappush(self._order_heap, (-self.activity.get(var, 0.0), var))
-                continue
-            return var
+        if self.branching == "static":
+            var = self._static_cursor
+            while var <= self.num_vars and var in self.assignment:
+                var += 1
+            self._static_cursor = var
+            return var if var <= self.num_vars else None
+        # Indexed heap: pop until an unassigned variable appears (assigned
+        # ones are re-inserted when the trail unwinds past them).
+        while True:
+            var = self._order.pop()
+            if var is None:
+                break
+            if var not in self.assignment:
+                return var
         # Heap exhausted: fall back to a linear scan (rare).
         for var in range(1, self.num_vars + 1):
             if var not in self.assignment:
                 return var
         return None
 
+    def _restart_interval(self, restart_count: int) -> int:
+        if self.restart_policy == "geometric":
+            return int(self.restart_base * (1.5 ** min(restart_count - 1, 48)))
+        return self.restart_base * _luby(restart_count)
+
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         start = time.monotonic()
+        self.solve_calls += 1
+        self.last_core = None
         self.stats = SatResult(status="unknown")
         if not self._ok:
+            self._cancel_until(0)
             self.stats.status = "unsat"
+            self.last_core = []
             return self.stats
+        if self.propagation_head < len(self.trail):
+            # Clauses were added since the last call; restart cleanly from
+            # the root so the pending units propagate at level 0.
+            self._cancel_until(0)
+        else:
+            # Trail reuse: keep the longest prefix of existing decision
+            # levels that matches the incoming assumptions (assumption
+            # literals already implied by a kept level are skipped).  A
+            # sequence of related assumption queries — e.g. the
+            # lex-minimization pass growing its prefix one literal at a
+            # time — then re-propagates almost nothing.
+            keep_level = 0
+            index = 0
+            while index < len(assumptions):
+                lit = assumptions[index]
+                var = abs(lit)
+                if (var in self.assignment and self.level[var] <= keep_level
+                        and self._value(lit) is True):
+                    index += 1
+                    continue
+                if (keep_level < self._decision_level()
+                        and self.trail[self.trail_lim[keep_level]] == lit):
+                    keep_level += 1
+                    index += 1
+                    continue
+                break
+            self._cancel_until(keep_level)
 
         conflict = self._propagate()
         if conflict is not None:
-            self.stats.status = "unsat"
-            self.stats.time_seconds = time.monotonic() - start
-            return self.stats
-
-        for lit in assumptions:
-            if self._value(lit) is False:
+            if self._decision_level() > 0:
+                # A kept assumption level conflicts (possible only via trail
+                # reuse); fall back to a clean root-level start.
+                self._cancel_until(0)
+                conflict = self._propagate()
+            if conflict is not None:
+                # Conflict at level 0: the clause database itself is unsat,
+                # for this and every future call.
+                self._ok = False
                 self.stats.status = "unsat"
+                self.last_core = []
                 self.stats.time_seconds = time.monotonic() - start
                 return self.stats
-            if self._value(lit) is None:
+
+        for lit in assumptions:
+            if lit:
+                self.ensure_vars(abs(lit))
+            value = self._value(lit)
+            if value is False:
+                self.stats.status = "unsat"
+                self.last_core = self._analyze_final([-lit], extra=lit)
+                self.stats.time_seconds = time.monotonic() - start
+                return self.stats
+            if value is None:
                 self.trail_lim.append(len(self.trail))
                 self._enqueue(lit, None)
                 conflict = self._propagate()
                 if conflict is not None:
                     self.stats.status = "unsat"
+                    self.last_core = self._analyze_final(self.clauses[conflict])
                     self.stats.time_seconds = time.monotonic() - start
                     return self.stats
         assumption_level = self._decision_level()
 
         restart_count = 1
-        conflicts_until_restart = 32 * _luby(restart_count)
+        conflicts_until_restart = self._restart_interval(restart_count)
         conflicts_since_restart = 0
         check_counter = 0
 
@@ -330,6 +634,7 @@ class CDCLSolver:
                 if expired or (self.should_stop is not None and self.should_stop()):
                     self.stats.status = "unknown"
                     self.stats.time_seconds = time.monotonic() - start
+                    self.total_conflicts += self.stats.conflicts
                     return self.stats
 
             conflict = self._propagate()
@@ -338,11 +643,18 @@ class CDCLSolver:
                 conflicts_since_restart += 1
                 if self._decision_level() <= assumption_level:
                     self.stats.status = "unsat"
+                    if assumption_level == 0:
+                        self._ok = False
+                        self.last_core = []
+                    else:
+                        self.last_core = self._analyze_final(self.clauses[conflict])
                     self.stats.time_seconds = time.monotonic() - start
+                    self.total_conflicts += self.stats.conflicts
                     return self.stats
                 learnt, backjump_level = self._analyze(conflict)
                 backjump_level = max(backjump_level, assumption_level)
                 self._cancel_until(backjump_level)
+                self.learned_count += 1
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
@@ -357,7 +669,7 @@ class CDCLSolver:
             if conflicts_since_restart >= conflicts_until_restart:
                 self.stats.restarts += 1
                 restart_count += 1
-                conflicts_until_restart = 32 * _luby(restart_count)
+                conflicts_until_restart = self._restart_interval(restart_count)
                 conflicts_since_restart = 0
                 self._cancel_until(assumption_level)
                 continue
@@ -371,11 +683,15 @@ class CDCLSolver:
                 self.stats.status = "sat"
                 self.stats.model = model
                 self.stats.time_seconds = time.monotonic() - start
+                self.total_conflicts += self.stats.conflicts
                 return self.stats
 
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
-            preferred_phase = self.phase.get(branch_var, False)
+            if self.phase_saving:
+                preferred_phase = self.phase.get(branch_var, self.default_phase)
+            else:
+                preferred_phase = self.default_phase
             self._enqueue(branch_var if preferred_phase else -branch_var, None)
 
 

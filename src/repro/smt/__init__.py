@@ -11,12 +11,13 @@ Section 3.3 by counterexample-guided inductive synthesis.
 from repro.smt.cegis import CegisResult, synthesize
 from repro.smt.equivalence import EquivalenceResult, check_equivalence
 from repro.smt.model import Model
-from repro.smt.solver import SmtResult, check_sat
+from repro.smt.solver import IncrementalSmtSession, SmtResult, check_sat
 
 __all__ = [
     "Model",
     "SmtResult",
     "check_sat",
+    "IncrementalSmtSession",
     "EquivalenceResult",
     "check_equivalence",
     "CegisResult",

@@ -14,6 +14,33 @@ ever issues quantifier-free queries to the underlying solver:
   all inputs (an equivalence query over input variables only) and, on
   failure, adds the counterexample to the example set.
 
+The candidate step runs on an :class:`~repro.smt.solver.IncrementalSmtSession`
+in one of two modes:
+
+* ``incremental=True`` threads **one persistent session** through the whole
+  run: the AIG/CNF namespace stays alive (hole variables keep stable
+  literals), each new counterexample appends only its own obligations'
+  clauses, and the CDCL solver carries its learned clauses and level-0
+  facts from iteration to iteration.  When a warm solve burns a slice of
+  the remaining :class:`~repro.engine.budget.Budget` without answering, the
+  session is restarted (cold solver, same context) — a budget-aware restart
+  that can only change time-to-answer, never the answer.
+* ``incremental=False`` (the default) rebuilds a fresh session every
+  iteration — re-substituting, re-blasting and cold-starting, exactly the
+  historical from-scratch behavior.
+
+Both modes assert the same constraints in the same order, and the session
+*canonicalizes* every satisfying model after the (heuristic, VSIDS) search
+finds one: a greedy assumption-solve pass refines it to the
+lexicographically smallest input assignment, which is a property of the
+constraint set rather than of the search.  That canonical model is
+independent of warm-vs-cold solver state, so the two modes walk identical
+candidate/counterexample trajectories and return identical ``CegisResult``
+statuses and hole values.  (Skipping the canonicalization pass in
+:class:`~repro.smt.solver.IncrementalSmtSession` would silently break this
+equality.)  The verification step stays on the racing solver portfolio
+(:func:`~repro.smt.equivalence.check_equivalence`).
+
 Both steps honour a deadline so the caller can reproduce the paper's
 per-query synthesis timeouts.
 """
@@ -27,13 +54,21 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bv import bv, bvand, bveq
 from repro.bv.ast import BVExpr
-from repro.bv.eval import var_widths
+from repro.bv.eval import evaluate, var_widths
 from repro.bv.simplify import substitute
 from repro.engine.budget import Budget
 from repro.smt.equivalence import check_equivalence
-from repro.smt.solver import SmtSolver, check_sat
+from repro.smt.solver import IncrementalSmtSession, SmtSolver
 
 __all__ = ["CegisResult", "Obligation", "synthesize"]
+
+#: Minimum budget slice (seconds) a warm incremental solve gets before a
+#: budget-aware restart is considered.
+_MIN_RESTART_SLICE = 0.25
+
+#: Fraction of the remaining budget a warm solve may burn before the
+#: session is restarted and the query retried on a cold solver.
+_RESTART_FRACTION = 0.5
 
 
 @dataclass
@@ -61,6 +96,19 @@ class CegisResult:
     time_seconds: float = 0.0
     candidate_strategy: str = "none"
     verify_strategy: str = "none"
+    #: Whether the candidate step ran on one persistent solver session.
+    incremental: bool = False
+    #: Why a run degraded to ``unknown`` (empty for clean outcomes).
+    diagnostic: str = ""
+    #: Budget-aware session restarts performed during the run.
+    solver_restarts: int = 0
+    #: SAT conflicts spent in candidate queries (all iterations).
+    candidate_conflicts: int = 0
+    #: Wall time spent in the candidate step (all iterations).
+    candidate_time_seconds: float = 0.0
+    #: Learned clauses alive in the persistent session when the run ended
+    #: (always 0 in from-scratch mode — nothing survives an iteration).
+    clauses_retained: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -100,6 +148,92 @@ def _initial_examples(input_widths: Mapping[str, int], rng: random.Random,
     return unique
 
 
+def _example_constraints(obligations: Sequence[Obligation],
+                         input_widths: Mapping[str, int],
+                         example: Mapping[str, int]) -> List[BVExpr]:
+    """The candidate obligations for one concrete input example."""
+    bindings = {name: bv(value, input_widths[name]) for name, value in example.items()}
+    constraints: List[BVExpr] = []
+    for obligation in obligations:
+        spec_value = substitute(obligation.spec, bindings)
+        sketch_value = substitute(obligation.sketch, bindings)
+        constraints.append(bveq(sketch_value, spec_value))
+    return constraints
+
+
+def _solve_candidate(candidate_constraints: Sequence[BVExpr],
+                     iteration: int, seed: int, random_probes: int,
+                     deadline: Optional[float],
+                     session: Optional[IncrementalSmtSession],
+                     budget: Optional[Budget],
+                     result: "CegisResult") -> Tuple[Optional[Mapping[str, int]], str, str]:
+    """Decide the candidate query; returns ``(model, status, strategy)``.
+
+    The layering mirrors :class:`~repro.smt.solver.SmtSolver` — normalise,
+    random probing, then SAT — but the SAT layer runs on an incremental
+    session instead of a portfolio race, and the probing RNG is re-seeded
+    per iteration so incremental and from-scratch runs draw identical
+    probes.  ``session=None`` is from-scratch mode: a throwaway session is
+    built (re-blasting everything) only if probing fails.
+    """
+    formula = bvand(*candidate_constraints) \
+        if len(candidate_constraints) > 1 else candidate_constraints[0]
+
+    if formula.is_const():
+        if formula.value:
+            return {}, "sat", "normalise"
+        return None, "unsat", "normalise"
+
+    widths = var_widths(formula)
+    # All-zeros first: it is both the cheapest probe and, when it
+    # satisfies, exactly the lex-smallest model the SAT layer would have
+    # canonicalized to — so taking it keeps the two modes aligned for free.
+    zeros = {name: 0 for name in widths}
+    if evaluate(formula, zeros):
+        return zeros, "sat", "simulate"
+    probe_rng = random.Random((seed & 0xFFFFFFFF) * 1_000_003 + iteration)
+    for _ in range(random_probes):
+        if deadline is not None and time.monotonic() > deadline:
+            return None, "unknown", "timeout"
+        assignment = {name: probe_rng.getrandbits(width) for name, width in widths.items()}
+        if evaluate(formula, assignment):
+            return assignment, "sat", "simulate"
+
+    incremental = session is not None
+    if not incremental:
+        session = IncrementalSmtSession()
+        session.assert_constraints(candidate_constraints)
+
+    check_deadline = deadline
+    if incremental and budget is not None and deadline is not None:
+        # Budget-aware restart scheduling: give the warm solver a slice of
+        # the remaining budget; if it burns the slice without answering,
+        # fall back to a cold solver (same context, same canonical answer)
+        # with whatever budget is left.
+        remaining = budget.remaining()
+        if remaining is not None and remaining > 0:
+            check_deadline = min(
+                deadline,
+                time.monotonic() + max(_MIN_RESTART_SLICE,
+                                       _RESTART_FRACTION * remaining))
+
+    smt_result = session.check(deadline=check_deadline)
+    if (smt_result.is_unknown and incremental and check_deadline != deadline
+            and time.monotonic() < deadline):
+        # The session counts its own restarts; synthesize() copies the
+        # total into the result at the end of the run.
+        session.restart()
+        smt_result = session.check(deadline=deadline)
+
+    result.candidate_conflicts += smt_result.sat_conflicts
+    strategy = "sat:incremental" if incremental else "sat:fresh"
+    if smt_result.is_unknown:
+        return None, "unknown", "timeout"
+    if smt_result.is_unsat:
+        return None, "unsat", strategy
+    return smt_result.model, "sat", strategy
+
+
 def synthesize(obligations: Sequence[Obligation] | Obligation,
                hole_widths: Mapping[str, int],
                hole_constraints: Sequence[BVExpr] = (),
@@ -108,7 +242,9 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                seed: int = 0,
                solver: Optional[SmtSolver] = None,
                initial_random_examples: int = 2,
-               budget: Optional[Budget] = None) -> CegisResult:
+               budget: Optional[Budget] = None,
+               incremental: bool = False,
+               random_probes: int = 32) -> CegisResult:
     """Solve ``∃ holes . ∀ inputs . ⋀ spec_i = sketch_i`` by CEGIS.
 
     Args:
@@ -120,9 +256,14 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
             convenience form of ``budget``).
         max_iterations: CEGIS round limit (a safety net; the hole space is
             finite so the loop terminates regardless).
-        seed: RNG seed for the initial examples.
-        solver: optional shared :class:`SmtSolver`.
+        seed: RNG seed for the initial examples and candidate probing.
+        solver: optional shared :class:`SmtSolver` (the verification side).
         budget: the engine-level :class:`Budget`; wins over ``deadline``.
+        incremental: thread one persistent solver session through the run
+            (clause reuse across iterations) instead of rebuilding per
+            iteration.  Statuses and hole values are identical either way;
+            only the time-to-answer changes.
+        random_probes: candidate-step random probe attempts per iteration.
     """
     start = time.monotonic()
     if budget is not None:
@@ -137,8 +278,16 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
     input_widths = _collect_inputs(obligations, hole_widths)
     examples = _initial_examples(input_widths, rng, initial_random_examples)
 
-    result = CegisResult(status="unknown")
+    result = CegisResult(status="unknown", incremental=incremental)
     constraints_base = list(hole_constraints)
+
+    session: Optional[IncrementalSmtSession] = None
+    asserted: List[BVExpr] = []
+    substituted_examples = 0
+    if incremental:
+        session = IncrementalSmtSession()
+        session.assert_constraints(constraints_base)
+        asserted.extend(constraints_base)
 
     for iteration in range(1, max_iterations + 1):
         result.iterations = iteration
@@ -148,31 +297,48 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
             break
 
         # ---------------- candidate step ---------------- #
-        candidate_constraints: List[BVExpr] = list(constraints_base)
-        for example in examples:
-            bindings = {name: bv(value, input_widths[name]) for name, value in example.items()}
-            for obligation in obligations:
-                spec_value = substitute(obligation.spec, bindings)
-                sketch_value = substitute(obligation.sketch, bindings)
-                candidate_constraints.append(bveq(sketch_value, spec_value))
-        candidate = check_sat(candidate_constraints, deadline=deadline, solver=solver)
-        result.candidate_strategy = candidate.strategy
-        if candidate.is_unsat:
+        candidate_start = time.monotonic()
+        if incremental:
+            # Only the examples gained since the last round are substituted
+            # and asserted; everything older is already in the context.
+            new_constraints: List[BVExpr] = []
+            for example in examples[substituted_examples:]:
+                new_constraints.extend(
+                    _example_constraints(obligations, input_widths, example))
+            substituted_examples = len(examples)
+            session.assert_constraints(new_constraints)
+            asserted.extend(new_constraints)
+            candidate_constraints: Sequence[BVExpr] = asserted
+        else:
+            # From-scratch: re-substitute the sketch for *all* accumulated
+            # examples, as the historical implementation did.
+            candidate_constraints = list(constraints_base)
+            for example in examples:
+                candidate_constraints.extend(
+                    _example_constraints(obligations, input_widths, example))
+
+        model, status, strategy = _solve_candidate(
+            candidate_constraints, iteration, seed, random_probes,
+            deadline, session, budget, result)
+        result.candidate_strategy = strategy
+        result.candidate_time_seconds += time.monotonic() - candidate_start
+        if status == "unsat":
             # No hole assignment satisfies even the finite example set, so no
             # assignment satisfies the full forall: the sketch cannot
             # implement the design.
             result.status = "unsat"
             break
-        if candidate.is_unknown:
+        if status == "unknown":
             result.status = "unknown"
             break
 
-        hole_values = {name: candidate.model.get(name, 0) for name in hole_widths}
+        hole_values = {name: model.get(name, 0) for name in hole_widths}
         hole_bindings = {name: bv(value, hole_widths[name])
                          for name, value in hole_values.items()}
 
         # ---------------- verification step ---------------- #
         verified = True
+        abort = False
         for obligation in obligations:
             concrete_sketch = substitute(obligation.sketch, hole_bindings)
             equivalence = check_equivalence(concrete_sketch, obligation.spec,
@@ -183,21 +349,34 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
             verified = False
             if equivalence.is_unknown:
                 result.status = "unknown"
-                result.time_seconds = time.monotonic() - start
-                return result
+                abort = True
+                break
             counterexample = {name: equivalence.counterexample.get(name, 0)
                               for name in input_widths}
             if counterexample in examples:
-                # The candidate solver found a spurious model (should not
-                # happen); avoid looping forever on the same example.
-                raise RuntimeError("CEGIS made no progress: repeated counterexample")
+                # The candidate solver produced a spurious model (a solver
+                # bug).  Degrade to "unknown" with a diagnostic instead of
+                # crashing: one poisoned query must not take down a whole
+                # sweep worker.
+                result.status = "unknown"
+                result.diagnostic = (
+                    f"no progress at iteration {iteration}: verification "
+                    f"repeated counterexample {counterexample!r} for a "
+                    "candidate the solver claimed consistent")
+                abort = True
+                break
             examples.append(counterexample)
             break
 
+        if abort:
+            break
         if verified:
             result.status = "sat"
             result.hole_values = hole_values
             break
 
+    if session is not None:
+        result.solver_restarts = session.restarts
+        result.clauses_retained = session.clauses_retained
     result.time_seconds = time.monotonic() - start
     return result

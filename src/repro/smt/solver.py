@@ -24,13 +24,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bv import bvand, bvvar
 from repro.bv.ast import BVExpr
-from repro.bv.bitblast import BitBlaster
-from repro.bv.cnf import aig_to_cnf
+from repro.bv.bitblast import BitBlaster, IncrementalContext
+from repro.bv.cnf import aig_to_cnf, lit_to_cnf
 from repro.bv.eval import evaluate, var_widths
 from repro.sat.portfolio import SatPortfolio
+from repro.sat.solver import CDCLSolver
 from repro.smt.model import Model
 
-__all__ = ["SmtResult", "check_sat", "SmtSolver"]
+__all__ = ["SmtResult", "check_sat", "SmtSolver", "IncrementalSmtSession"]
 
 
 @dataclass
@@ -113,6 +114,184 @@ class SmtSolver:
                 values[var_name] |= 1 << bit_index
         return SmtResult("sat", Model(values, widths), f"sat:{winner}", elapsed,
                          sat_result.conflicts)
+
+
+class IncrementalSmtSession:
+    """An incremental word-level solving session: assert once, check often.
+
+    Unlike :func:`check_sat`, constraints asserted here are *cumulative*:
+    every :meth:`assert_constraints` call appends obligations to one
+    persistent :class:`~repro.bv.bitblast.IncrementalContext` (stable AIG /
+    CNF literals), and :meth:`check` reuses one :class:`CDCLSolver` whose
+    learned clauses, activities and level-0 facts survive across calls.
+    Because constraints only ever accumulate, everything the solver learned
+    for an earlier query is still entailed by the current one.
+
+    Satisfying models are *canonical*: after the (heuristic, warm) search
+    finds any model, the session refines it to the lexicographically
+    smallest assignment of the input variables with a sequence of
+    assumption solves.  The lex-min assignment is unique — a property of
+    the formula, not of the search — so a warm incremental session and a
+    cold from-scratch one return identical models over the same asserted
+    constraints.  That canonicity is what lets incremental and from-scratch
+    CEGIS return the same hole values, and it makes :meth:`restart` (drop
+    the warm solver, keep the context) behavior-preserving: only the
+    time-to-answer changes, never the answer.
+    """
+
+    def __init__(self) -> None:
+        self.context = IncrementalContext()
+        self._solver: Optional[CDCLSolver] = None
+        self._synced_clauses = 0
+        self._widths: Dict[str, int] = {}
+        self._root_unsat = False
+        #: Session statistics (cumulative over the session's lifetime).
+        self.checks = 0
+        self.restarts = 0
+        self.conflicts = 0
+        self.asserted = 0
+
+    # ------------------------------------------------------------------ #
+    def assert_constraints(self, constraints: Sequence[BVExpr]) -> None:
+        """Permanently add 1-bit constraints (a conjunction) to the session.
+
+        The batch is blasted and cone-encoded first, then the output units
+        are asserted together — the clause layout a one-shot
+        :func:`~repro.bv.cnf.aig_to_cnf` would produce for the batch.
+        """
+        output_lits = []
+        for constraint in constraints:
+            if constraint.width != 1:
+                raise ValueError("constraints must be 1-bit expressions")
+            if constraint.is_const():
+                if not constraint.value:
+                    self._root_unsat = True
+                continue
+            for name, width in var_widths(constraint).items():
+                existing = self._widths.get(name)
+                if existing is not None and existing != width:
+                    raise ValueError(
+                        f"variable {name!r} used at widths {existing} and {width}")
+                self._widths[name] = width
+            output_lits.append(self.context.blast(constraint)[0])
+            self.asserted += 1
+        for lit in output_lits:
+            self.context.encoder.encode([lit])
+        for lit in output_lits:
+            self.context.encoder.cnf.add_clause([lit_to_cnf(lit)])
+
+    def restart(self) -> None:
+        """Drop the warm solver; the context (and its literals) survive.
+
+        The next :meth:`check` rebuilds a cold solver from the full
+        accumulated CNF.  With the stable configuration the answer is
+        unchanged — restarting is purely a scheduling decision (CEGIS uses
+        it when a warm solve burned a budget slice without answering).
+        """
+        if self._solver is not None:
+            self._solver = None
+            self._synced_clauses = 0
+            self.restarts += 1
+
+    @property
+    def clauses_retained(self) -> int:
+        """Learned clauses currently carried by the warm solver."""
+        return self._solver.learned_count if self._solver is not None else 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"checks": self.checks, "restarts": self.restarts,
+                "conflicts": self.conflicts, "asserted": self.asserted,
+                "clauses_retained": self.clauses_retained,
+                "cnf_clauses": self.context.cnf.num_clauses,
+                "cnf_vars": self.context.cnf.num_vars}
+
+    # ------------------------------------------------------------------ #
+    def _sync_solver(self) -> CDCLSolver:
+        """Feed clauses appended since the last check into the live solver."""
+        if self._solver is None:
+            self._solver = CDCLSolver()
+        cnf = self.context.cnf
+        self._solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses[self._synced_clauses:]:
+            self._solver.add_clause(clause)
+        self._synced_clauses = len(cnf.clauses)
+        return self._solver
+
+    def _lex_minimize(self, solver: CDCLSolver,
+                      model: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        """Refine a model to the lex-smallest input-variable assignment.
+
+        The search heuristics (and any warm solver state) determine only
+        which model is found *first*; this greedy pass — walk the input
+        bits in index order, try to flip each 1 to 0 under the already
+        fixed prefix — converges to the unique lexicographically smallest
+        satisfying input assignment.  Tseitin variables are functionally
+        forced by the inputs, so the whole model is canonical.  Returns
+        None on a deadline expiry mid-refinement.
+
+        The bit order is the AIG input order, which is determined by the
+        order constraints were asserted — identical for an incremental
+        session and a from-scratch one replaying the same assertions.
+        Zero bits are free (the current model witnesses them); only bits
+        currently 1 need a solver call, and the solver's assumption-prefix
+        trail reuse makes consecutive calls re-propagate almost nothing.
+        """
+        prefix: List[int] = []
+        for var in sorted(self.context.input_vars().values()):
+            if not model.get(var, False):
+                # Already 0: the current model witnesses this prefix.
+                prefix.append(-var)
+                continue
+            trial = solver.solve(prefix + [-var])
+            self.conflicts += trial.conflicts
+            if trial.is_sat:
+                model = trial.model
+                prefix.append(-var)
+            elif trial.is_unsat:
+                prefix.append(var)
+            else:
+                return None
+        return model
+
+    def check(self, deadline: Optional[float] = None) -> SmtResult:
+        """Decide satisfiability of everything asserted so far."""
+        start = time.monotonic()
+        self.checks += 1
+        if self._root_unsat:
+            return SmtResult("unsat", None, "normalise", time.monotonic() - start)
+        if deadline is not None and time.monotonic() > deadline:
+            return SmtResult("unknown", None, "timeout", time.monotonic() - start)
+
+        conflicts_before = self.conflicts
+        solver = self._sync_solver()
+        solver.deadline = deadline
+        sat_result = solver.solve()
+        self.conflicts += sat_result.conflicts
+        if sat_result.is_unsat:
+            return SmtResult("unsat", None, "sat:incremental",
+                             time.monotonic() - start,
+                             self.conflicts - conflicts_before)
+        model = None
+        if sat_result.is_sat:
+            # _lex_minimize adds its assumption-solve conflicts to
+            # self.conflicts, so the delta below covers the whole check.
+            model = self._lex_minimize(solver, sat_result.model)
+        elapsed = time.monotonic() - start
+        query_conflicts = self.conflicts - conflicts_before
+        if model is None:
+            return SmtResult("unknown", None, "timeout", elapsed,
+                             query_conflicts)
+
+        values: Dict[str, int] = {name: 0 for name in self._widths}
+        for bit_name, cnf_var in self.context.input_vars().items():
+            if not model.get(cnf_var, False):
+                continue
+            var_name, _, index_part = bit_name.rpartition("[")
+            bit_index = int(index_part[:-1])
+            if var_name in values:
+                values[var_name] |= 1 << bit_index
+        return SmtResult("sat", Model(values, dict(self._widths)), "sat:incremental",
+                         elapsed, query_conflicts)
 
 
 _DEFAULT_SOLVER = SmtSolver()

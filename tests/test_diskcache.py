@@ -50,7 +50,8 @@ class TestDiskCacheUnit:
         assert cache.get(KEY) is None
         cache.put(KEY, {"answer": 42})
         assert cache.get(KEY) == {"answer": 42}
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1, "errors": 0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "errors": 0, "evictions": 0}
         cache.close()
 
     def test_entries_survive_reopening(self, tmp_path):
@@ -117,7 +118,8 @@ class TestSchemaAndCorruption:
     def test_undeserializable_entry_is_dropped_as_miss(self, tmp_path):
         cache = DiskSynthesisCache(tmp_path)
         cache._connection.execute(
-            "INSERT INTO entries (key, value, created_at) VALUES (?, ?, 0)",
+            "INSERT INTO entries (key, value, created_at, last_used_at) "
+            "VALUES (?, ?, 0, 0)",
             (canonical_key(KEY), b"\x80garbage-pickle"))
         cache._connection.commit()
         assert cache.get(KEY) is None
@@ -229,3 +231,103 @@ class TestSessionIntegration:
             AND4, template="bitwise", arch="sofa", timeout_seconds=60)
         assert warm.cache_hit
         assert "tampered" not in warm.hole_values
+
+
+class TestLruEviction:
+    def test_put_evicts_least_recently_used_beyond_cap(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path, max_entries=3)
+        for index in range(3):
+            cache.put(("key", index), f"value-{index}")
+        # Touch key 0 so key 1 becomes the least recently used.
+        assert cache.get(("key", 0)) == "value-0"
+        cache.put(("key", 3), "value-3")
+        assert len(cache) == 3
+        assert cache.get(("key", 1)) is None  # evicted
+        assert cache.get(("key", 0)) == "value-0"
+        assert cache.get(("key", 3)) == "value-3"
+        assert cache.stats()["evictions"] == 1
+        cache.close()
+
+    def test_prune_by_entry_count(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        for index in range(6):
+            cache.put(("key", index), index)
+        cache.get(("key", 0))  # most recently used
+        removed = cache.prune(max_entries=2)
+        assert removed == 4
+        assert len(cache) == 2
+        assert cache.get(("key", 0)) == 0  # survived (recently used)
+        cache.close()
+
+    def test_prune_by_age(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(("old",), "old")
+        cache._connection.execute(
+            "UPDATE entries SET last_used_at = 0")  # pretend it is ancient
+        cache._connection.commit()
+        cache.put(("new",), "new")
+        removed = cache.prune(max_age_seconds=3600.0)
+        assert removed == 1
+        assert cache.get(("new",)) == "new"
+        assert cache.get(("old",)) is None
+        cache.close()
+
+    def test_session_cache_max_entries_plumbs_through(self, tmp_path):
+        session = MappingSession(cache_dir=tmp_path, cache_max_entries=5)
+        assert session.cache.disk.max_entries == 5
+        session.close()
+
+    def test_tiered_prune_forwards_to_disk(self, tmp_path):
+        disk = DiskSynthesisCache(tmp_path)
+        tiered = TieredSynthesisCache(disk=disk)
+        for index in range(4):
+            tiered.put(("key", index), index)
+        assert tiered.prune(max_entries=1) == 3
+        assert len(disk) == 1
+        tiered.close()
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        for index in range(4):
+            cache.put(("key", index), index)
+        cache.close()
+
+    def test_stats_prune_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._populate(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries: 4" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-entries", "1"]) == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+
+    def test_missing_database_is_an_error(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 1
+
+    def test_stats_refuses_to_migrate_an_old_schema(self, tmp_path):
+        """'cache stats' must never trigger the (entry-dropping) schema
+        migration; only an explicit clear may reset an old database."""
+        from repro.cli import main
+
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(KEY, "payload")
+        cache._connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION - 1),))
+        cache._connection.commit()
+        cache.close()
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 1
+        # The refusal must have left the database untouched.
+        from repro.engine.diskcache import peek_schema_version
+        assert peek_schema_version(tmp_path) == SCHEMA_VERSION - 1
+        # clear is the sanctioned way out.
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert peek_schema_version(tmp_path) == SCHEMA_VERSION
