@@ -81,6 +81,19 @@ class IncrementalCnf:
         self.encode([lit])
         self.cnf.add_clause([lit_to_cnf(lit)])
 
+    def gate_literal(self, lit: int) -> int:
+        """Encode the cone of an AIG literal and return its DIMACS literal.
+
+        Unlike :meth:`assert_lit` the literal is *not* constrained: the
+        clauses only define the cone, and callers activate (or negate) the
+        output per query by passing the returned literal as a solver
+        assumption.  This is the miter-output idiom of incremental
+        verification — one CNF holds every obligation's miter, and each
+        check gates exactly one of them on.
+        """
+        self.encode([lit])
+        return lit_to_cnf(lit)
+
     def input_vars(self) -> Dict[str, int]:
         """Map from input bit names to their (stable) CNF variable numbers."""
         return {name: (self.aig.input_literal(name) >> 1) + 1

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="thread one persistent CDCL context through each "
                              "design's CEGIS run (clause reuse across "
                              "iterations; identical results, less re-solving)")
+    parser.add_argument("--incremental-verify", action="store_true",
+                        help="verify candidates on one persistent "
+                             "assumption-gated miter session (sketch blasted "
+                             "once, hole values bound as assumptions, failure "
+                             "cores pruning the candidate space; identical "
+                             "results to the portfolio verifier)")
     parser.add_argument("--stats", action="store_true",
                         help="print cache and solver-portfolio statistics")
     return parser
@@ -102,6 +108,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="incremental CEGIS inside each worker: one "
                              "persistent solver context per design, learned "
                              "clauses reused across iterations")
+    parser.add_argument("--incremental-verify", action="store_true",
+                        help="incremental verification inside each worker: "
+                             "one persistent assumption-gated miter session "
+                             "per design, verification-failure cores pruning "
+                             "the candidate space")
     parser.add_argument("--template", default="dsp", choices=available_templates(),
                         help="sketch template to use (default: dsp)")
     parser.add_argument("--timeout", type=float, default=None,
@@ -166,7 +177,8 @@ def _main_map(argv) -> int:
     session = MappingSession(enable_cache=not args.no_cache,
                              cache_dir=args.cache_dir,
                              portfolio=args.portfolio,
-                             incremental=args.incremental)
+                             incremental=args.incremental,
+                             incremental_verify=args.incremental_verify)
     result = session.map_verilog(
         source,
         template=args.template,
@@ -188,6 +200,12 @@ def _main_map(argv) -> int:
                   f"conflicts, {synthesis.solver_restarts} budget restart(s) "
                   f"over {synthesis.cegis_iterations} CEGIS iteration(s)",
                   file=sys.stderr)
+        if result.synthesis is not None and result.synthesis.incremental_verify:
+            synthesis = result.synthesis
+            print(f"incremental verify: {synthesis.verify_clauses_retained} "
+                  f"learned clauses retained, {synthesis.cores_pruned} "
+                  f"pruning core(s), {synthesis.verify_time_seconds:.2f}s "
+                  "in verification", file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)
@@ -241,12 +259,14 @@ def _main_sweep(argv) -> int:
     config = ExperimentConfig(validate=args.validate, template=args.template,
                               workers=args.workers, cache_dir=args.cache_dir,
                               portfolio=args.portfolio,
-                              incremental=args.incremental)
+                              incremental=args.incremental,
+                              incremental_verify=args.incremental_verify)
     if args.timeout is not None:
         config.timeout_seconds = {arch: args.timeout for arch in architectures}
     spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
                        enable_cache=not args.no_cache,
-                       incremental=args.incremental)
+                       incremental=args.incremental,
+                       incremental_verify=args.incremental_verify)
 
     result = run_sweep(benchmarks, config, workers=args.workers,
                        session_spec=spec)
@@ -263,6 +283,10 @@ def _main_sweep(argv) -> int:
     if args.incremental:
         print(f"incremental: {result.clauses_retained} learned clauses "
               f"retained, {result.solver_restarts} budget restart(s)",
+              file=sys.stderr)
+    if args.incremental_verify:
+        print(f"incremental verify: {result.verify_clauses_retained} learned "
+              f"clauses retained, {result.cores_pruned} pruning core(s)",
               file=sys.stderr)
 
     if args.jsonl:
@@ -281,6 +305,9 @@ def _main_sweep(argv) -> int:
             "incremental": args.incremental,
             "clauses_retained": result.clauses_retained,
             "solver_restarts": result.solver_restarts,
+            "incremental_verify": args.incremental_verify,
+            "verify_clauses_retained": result.verify_clauses_retained,
+            "cores_pruned": result.cores_pruned,
         }
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were

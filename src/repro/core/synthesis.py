@@ -49,11 +49,17 @@ class SynthesisOutcome:
     incremental: bool = False
     #: Why a run degraded to ``unknown`` (empty for clean outcomes).
     diagnostic: str = ""
+    #: Whether verification ran on one persistent assumption-gated miter
+    #: session (core-driven candidate pruning enabled).
+    incremental_verify: bool = False
     #: Incremental-session statistics (all zero in from-scratch mode).
     solver_restarts: int = 0
     candidate_conflicts: int = 0
     candidate_time_seconds: float = 0.0
+    verify_time_seconds: float = 0.0
     clauses_retained: int = 0
+    verify_clauses_retained: int = 0
+    cores_pruned: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -76,15 +82,20 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
               solver: Optional[SmtSolver] = None,
               check_inputs: bool = True,
               budget: Optional[Budget] = None,
-              incremental: bool = False) -> SynthesisOutcome:
+              incremental: bool = False,
+              incremental_verify: bool = False) -> SynthesisOutcome:
     """Synthesize a ``t``-cycle implementation of ``design`` guided by ``sketch``,
     equivalent over the window ``at_time .. at_time + cycles``.
 
     The time budget can be given either as a started :class:`Budget` (the
     mapping session's, so sketch-generation time already counts against it)
     or as a plain ``timeout_seconds`` convenience.  ``incremental`` selects
-    the persistent-solver CEGIS mode (clause reuse across iterations); the
-    outcome's statuses and hole values are the same either way.
+    the persistent-solver CEGIS candidate mode (clause reuse across
+    iterations); ``incremental_verify`` selects the persistent
+    assumption-gated miter session for the verification step (the sketch
+    cone is blasted once and verification-failure cores prune the
+    candidate space).  The outcome's statuses and hole values are the same
+    under every mode combination.
     """
     start = time.monotonic()
     if budget is None:
@@ -112,6 +123,7 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         budget=budget,
         solver=solver,
         incremental=incremental,
+        incremental_verify=incremental_verify,
     )
 
     outcome = SynthesisOutcome(
@@ -121,11 +133,15 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         candidate_strategy=cegis.candidate_strategy,
         verify_strategy=cegis.verify_strategy,
         incremental=cegis.incremental,
+        incremental_verify=cegis.incremental_verify,
         diagnostic=cegis.diagnostic,
         solver_restarts=cegis.solver_restarts,
         candidate_conflicts=cegis.candidate_conflicts,
         candidate_time_seconds=cegis.candidate_time_seconds,
+        verify_time_seconds=cegis.verify_time_seconds,
         clauses_retained=cegis.clauses_retained,
+        verify_clauses_retained=cegis.verify_clauses_retained,
+        cores_pruned=cegis.cores_pruned,
     )
     if not cegis.succeeded:
         return outcome

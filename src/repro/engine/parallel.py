@@ -55,11 +55,13 @@ class SessionSpec:
     cache_dir: Optional[str] = None
     enable_cache: bool = True
     incremental: bool = False
+    incremental_verify: bool = False
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "SessionSpec":
         return cls(portfolio=config.portfolio, cache_dir=config.cache_dir,
-                   incremental=config.incremental)
+                   incremental=config.incremental,
+                   incremental_verify=config.incremental_verify)
 
     def build(self):
         from repro.engine.session import MappingSession
@@ -67,7 +69,8 @@ class SessionSpec:
         return MappingSession(portfolio=self.portfolio,
                               cache_dir=self.cache_dir,
                               enable_cache=self.enable_cache,
-                              incremental=self.incremental)
+                              incremental=self.incremental,
+                              incremental_verify=self.incremental_verify)
 
 
 @dataclass
@@ -107,6 +110,22 @@ class SweepResult:
         """Budget-aware incremental-session restarts, summed over the
         records that actually ran synthesis this run."""
         return sum(record.solver_restarts for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def verify_clauses_retained(self) -> int:
+        """Learned clauses the incremental verify sessions carried across
+        CEGIS iterations, summed over the records that actually ran
+        synthesis this run."""
+        return sum(record.verify_clauses_retained for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def cores_pruned(self) -> int:
+        """Verification-failure cores turned into candidate-pruning
+        blocking constraints, summed over the records that actually ran
+        synthesis this run."""
+        return sum(record.cores_pruned for record in self.records
                    if not record.cache_hit)
 
     def outcome_counts(self) -> Dict[str, int]:

@@ -131,6 +131,11 @@ class MappingSession:
     a persistent :class:`DiskSynthesisCache` under the in-memory LRU so
     synthesis results survive the process and are shared with concurrent
     sweep workers.
+
+    ``incremental`` and ``incremental_verify`` select the persistent-solver
+    CEGIS candidate and verification paths respectively (clause reuse
+    across iterations; identical results either way — see
+    :func:`repro.smt.cegis.synthesize`).
     """
 
     def __init__(self,
@@ -141,6 +146,7 @@ class MappingSession:
                  enable_cache: bool = True,
                  cache_dir=None,
                  incremental: bool = False,
+                 incremental_verify: bool = False,
                  cache_max_entries: Optional[int] = None) -> None:
         self.library = library if library is not None else PrimitiveLibrary()
         #: Run the CEGIS candidate step on one persistent solver session per
@@ -148,6 +154,15 @@ class MappingSession:
         #: to from-scratch mode; only synthesis time changes, so cached
         #: results are shared between the two modes.
         self.incremental = incremental
+        #: Run the CEGIS verification step on one persistent
+        #: assumption-gated miter session per design: the sketch cone and
+        #: spec miters are blasted once, each candidate's hole values bind
+        #: as solver assumptions, and verification-failure unsat cores
+        #: become candidate-pruning blocking constraints.  Statuses, hole
+        #: values and iteration counts are identical to the portfolio
+        #: verifier by construction, so cached results are shared between
+        #: the modes too.
+        self.incremental_verify = incremental_verify
         if isinstance(portfolio, str):
             portfolio = make_portfolio(portfolio)
         if portfolio is None and solver is not None:
@@ -284,7 +299,8 @@ class MappingSession:
         outcome = f_lr_star(sketch, design.program, at_time=at_time,
                             cycles=extra_cycles, budget=budget,
                             solver=self.solver,
-                            incremental=self.incremental)
+                            incremental=self.incremental,
+                            incremental_verify=self.incremental_verify)
 
         result = LakeroadResult(
             status=budget_mod.mapping_status(outcome.status),

@@ -59,6 +59,12 @@ class ExperimentConfig:
     #: design (learned clauses reused across iterations).  Statuses and
     #: hole values are identical to from-scratch mode.
     incremental: bool = False
+    #: Run the CEGIS verification step on one persistent assumption-gated
+    #: miter session per design (sketch blasted once, hole values bound as
+    #: assumptions, failure cores pruning the candidate space).  Statuses,
+    #: hole values and iteration counts are identical to the portfolio
+    #: verifier.
+    incremental_verify: bool = False
 
     def timeout_for(self, architecture: str) -> float:
         return budget_mod.timeout_for(architecture, self.timeout_seconds)
@@ -89,6 +95,11 @@ class MappingRecord:
     incremental: bool = False
     clauses_retained: int = 0
     solver_restarts: int = 0
+    #: Whether verification ran on a persistent assumption-gated miter
+    #: session, and its per-run statistics (zero in portfolio mode).
+    incremental_verify: bool = False
+    verify_clauses_retained: int = 0
+    cores_pruned: int = 0
 
     @property
     def mapped(self) -> bool:
@@ -165,6 +176,9 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         incremental=synthesis.incremental if synthesis else False,
         clauses_retained=synthesis.clauses_retained if synthesis else 0,
         solver_restarts=synthesis.solver_restarts if synthesis else 0,
+        incremental_verify=synthesis.incremental_verify if synthesis else False,
+        verify_clauses_retained=synthesis.verify_clauses_retained if synthesis else 0,
+        cores_pruned=synthesis.cores_pruned if synthesis else 0,
     )
 
 
@@ -197,7 +211,7 @@ def run_lakeroad(benchmarks: Sequence[Microbenchmark],
         return run_lakeroad_parallel(benchmarks, config, workers=workers)
     if session is None:
         if config.cache_dir is not None or config.portfolio != "thread" \
-                or config.incremental:
+                or config.incremental or config.incremental_verify:
             # The config asks for a non-default session; honour it instead
             # of silently dropping the knobs on the serial path.  The
             # session is ours, so release its disk-cache handle when done.

@@ -29,17 +29,37 @@ in one of two modes:
   iteration — re-substituting, re-blasting and cold-starting, exactly the
   historical from-scratch behavior.
 
-Both modes assert the same constraints in the same order, and the session
-*canonicalizes* every satisfying model after the (heuristic, VSIDS) search
-finds one: a greedy assumption-solve pass refines it to the
+The verification step likewise runs in one of two modes:
+
+* ``incremental_verify=True`` builds one
+  :class:`~repro.smt.equivalence.IncrementalVerifySession` per run: the
+  sketch cone and spec miters are blasted **once** (holes left free), and
+  each candidate is checked by binding its hole values as assumptions over
+  the stable hole literals, so iteration N's verify query reuses iteration
+  1's CNF, learned clauses and branching activity.  On an equivalence-check
+  *failure* the session's ``last_core`` names the subset of hole bits
+  actually responsible, and a *blocking constraint* over that prefix is
+  added to the candidate side — pruning every candidate sharing the prefix
+  rather than only the one just refuted.  The blocking constraints are
+  logically entailed by the counterexample's own example constraints, so
+  they never change which candidates are reachable — only how fast the
+  solver discards dead ones.
+* ``incremental_verify=False`` (the default) keeps each query on the
+  racing solver portfolio — the fallback and cross-check path.
+
+Both candidate modes assert the same constraints in the same order, and the
+session *canonicalizes* every satisfying model after the (heuristic, VSIDS)
+search finds one: a greedy assumption-solve pass refines it to the
 lexicographically smallest input assignment, which is a property of the
-constraint set rather than of the search.  That canonical model is
-independent of warm-vs-cold solver state, so the two modes walk identical
-candidate/counterexample trajectories and return identical ``CegisResult``
-statuses and hole values.  (Skipping the canonicalization pass in
-:class:`~repro.smt.solver.IncrementalSmtSession` would silently break this
-equality.)  The verification step stays on the racing solver portfolio
-(:func:`~repro.smt.equivalence.check_equivalence`).
+constraint set rather than of the search.  Verification counterexamples are
+canonical too (``canonical=True`` on
+:func:`~repro.smt.equivalence.check_equivalence`): the portfolio and the
+incremental verifier share the structural/normalise/probing fast layers —
+including the probing RNG stream — and both canonicalize SAT-layer models,
+so the four mode combinations walk identical candidate/counterexample
+trajectories and return identical ``CegisResult`` statuses, hole values and
+iteration counts by construction.  (Skipping either canonicalization pass
+would silently break this equality.)
 
 Both steps honour a deadline so the caller can reproduce the paper's
 per-query synthesis timeouts.
@@ -49,15 +69,15 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.bv import bv, bvand, bveq
+from repro.bv import bv, bvand, bveq, bvextract, bvne, bvor, bvvar
 from repro.bv.ast import BVExpr
 from repro.bv.eval import evaluate, var_widths
 from repro.bv.simplify import substitute
 from repro.engine.budget import Budget
-from repro.smt.equivalence import check_equivalence
+from repro.smt.equivalence import IncrementalVerifySession, check_equivalence
 from repro.smt.solver import IncrementalSmtSession, SmtSolver
 
 __all__ = ["CegisResult", "Obligation", "synthesize"]
@@ -98,17 +118,30 @@ class CegisResult:
     verify_strategy: str = "none"
     #: Whether the candidate step ran on one persistent solver session.
     incremental: bool = False
+    #: Whether the verification step ran on one persistent miter session.
+    incremental_verify: bool = False
     #: Why a run degraded to ``unknown`` (empty for clean outcomes).
     diagnostic: str = ""
-    #: Budget-aware session restarts performed during the run.
+    #: Budget-aware session restarts performed during the run (candidate
+    #: and verify sessions combined).
     solver_restarts: int = 0
     #: SAT conflicts spent in candidate queries (all iterations).
     candidate_conflicts: int = 0
     #: Wall time spent in the candidate step (all iterations).
     candidate_time_seconds: float = 0.0
-    #: Learned clauses alive in the persistent session when the run ended
-    #: (always 0 in from-scratch mode — nothing survives an iteration).
+    #: Wall time spent in the verification step (all iterations, either
+    #: verifier).
+    verify_time_seconds: float = 0.0
+    #: Learned clauses alive in the persistent candidate session when the
+    #: run ended (always 0 in from-scratch mode — nothing survives an
+    #: iteration).
     clauses_retained: int = 0
+    #: Learned clauses alive in the persistent verify session at the end
+    #: (always 0 when ``incremental_verify`` is off).
+    verify_clauses_retained: int = 0
+    #: Verification-failure unsat cores turned into candidate-space
+    #: blocking constraints (0 when ``incremental_verify`` is off).
+    cores_pruned: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -161,7 +194,42 @@ def _example_constraints(obligations: Sequence[Obligation],
     return constraints
 
 
+def _blocking_constraint(prefix: Sequence[Tuple[str, int, int]],
+                         hole_widths: Mapping[str, int]) -> BVExpr:
+    """A 1-bit constraint excluding every hole assignment extending ``prefix``.
+
+    ``prefix`` is the ``(hole, bit, value)`` core of a verification
+    failure; the constraint demands at least one of those bits differ.  An
+    empty prefix means *every* candidate fails on the counterexample, so
+    the constraint is constant false (the candidate space is empty) —
+    which the example constraint entailing it would also have proven.
+    """
+    disequalities = [
+        bvne(bvextract(bit, bit, bvvar(name, hole_widths[name])), bv(value, 1))
+        for name, bit, value in prefix
+    ]
+    if not disequalities:
+        return bv(0, 1)
+    if len(disequalities) == 1:
+        return disequalities[0]
+    return bvor(*disequalities)
+
+
+def _budget_slice_deadline(budget: Optional[Budget],
+                           deadline: Optional[float]) -> Optional[float]:
+    """The warm solver's slice of the remaining budget (restart scheduling)."""
+    if budget is None or deadline is None:
+        return deadline
+    remaining = budget.remaining()
+    if remaining is None or remaining <= 0:
+        return deadline
+    return min(deadline,
+               time.monotonic() + max(_MIN_RESTART_SLICE,
+                                      _RESTART_FRACTION * remaining))
+
+
 def _solve_candidate(candidate_constraints: Sequence[BVExpr],
+                     sat_constraints: Optional[List[BVExpr]],
                      iteration: int, seed: int, random_probes: int,
                      deadline: Optional[float],
                      session: Optional[IncrementalSmtSession],
@@ -174,7 +242,16 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
     session instead of a portfolio race, and the probing RNG is re-seeded
     per iteration so incremental and from-scratch runs draw identical
     probes.  ``session=None`` is from-scratch mode: a throwaway session is
-    built (re-blasting everything) only if probing fails.
+    built (re-blasting everything, asserting ``sat_constraints`` — the
+    shared temporal order including blocking constraints) only if probing
+    fails.
+
+    Blocking constraints (core-driven pruning) join only the SAT layer:
+    they are entailed by the example constraints already in
+    ``candidate_constraints``, so evaluating probes without them gives the
+    same verdicts while keeping the probe RNG stream — which draws one
+    value per *formula variable* — independent of which hole bits the
+    verification cores happened to mention.
     """
     formula = bvand(*candidate_constraints) \
         if len(candidate_constraints) > 1 else candidate_constraints[0]
@@ -202,20 +279,15 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
     incremental = session is not None
     if not incremental:
         session = IncrementalSmtSession()
-        session.assert_constraints(candidate_constraints)
+        session.assert_constraints(sat_constraints)
 
     check_deadline = deadline
-    if incremental and budget is not None and deadline is not None:
+    if incremental:
         # Budget-aware restart scheduling: give the warm solver a slice of
         # the remaining budget; if it burns the slice without answering,
         # fall back to a cold solver (same context, same canonical answer)
         # with whatever budget is left.
-        remaining = budget.remaining()
-        if remaining is not None and remaining > 0:
-            check_deadline = min(
-                deadline,
-                time.monotonic() + max(_MIN_RESTART_SLICE,
-                                       _RESTART_FRACTION * remaining))
+        check_deadline = _budget_slice_deadline(budget, deadline)
 
     smt_result = session.check(deadline=check_deadline)
     if (smt_result.is_unknown and incremental and check_deadline != deadline
@@ -234,6 +306,30 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
     return smt_result.model, "sat", strategy
 
 
+def _verify_sat_layer(verify_session: IncrementalVerifySession, index: int,
+                      hole_values: Mapping[str, int],
+                      budget: Optional[Budget]):
+    """The incremental verifier as a pluggable SAT layer for one obligation.
+
+    Wraps the assumption-gated session query in the same budget-slice
+    restart policy as the candidate step: the warm solver gets a slice of
+    the remaining budget; burning it without an answer triggers a cold
+    restart (answer-preserving — counterexamples are canonical) with the
+    full deadline.
+    """
+    def layer(formula, widths, deadline):
+        check_deadline = _budget_slice_deadline(budget, deadline)
+        smt_result = verify_session.check_obligation(index, hole_values,
+                                                     deadline=check_deadline)
+        if (smt_result.is_unknown and check_deadline != deadline
+                and deadline is not None and time.monotonic() < deadline):
+            verify_session.restart()
+            smt_result = verify_session.check_obligation(index, hole_values,
+                                                         deadline=deadline)
+        return smt_result
+    return layer
+
+
 def synthesize(obligations: Sequence[Obligation] | Obligation,
                hole_widths: Mapping[str, int],
                hole_constraints: Sequence[BVExpr] = (),
@@ -244,6 +340,7 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                initial_random_examples: int = 2,
                budget: Optional[Budget] = None,
                incremental: bool = False,
+               incremental_verify: bool = False,
                random_probes: int = 32) -> CegisResult:
     """Solve ``∃ holes . ∀ inputs . ⋀ spec_i = sketch_i`` by CEGIS.
 
@@ -259,10 +356,17 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         seed: RNG seed for the initial examples and candidate probing.
         solver: optional shared :class:`SmtSolver` (the verification side).
         budget: the engine-level :class:`Budget`; wins over ``deadline``.
-        incremental: thread one persistent solver session through the run
-            (clause reuse across iterations) instead of rebuilding per
-            iteration.  Statuses and hole values are identical either way;
-            only the time-to-answer changes.
+        incremental: thread one persistent solver session through the
+            candidate step (clause reuse across iterations) instead of
+            rebuilding per iteration.  Statuses and hole values are
+            identical either way; only the time-to-answer changes.
+        incremental_verify: check candidates on one persistent
+            assumption-gated miter session (sketch/spec blasted once, hole
+            values bound as assumptions, verification-failure cores turned
+            into candidate-pruning blocking constraints) instead of
+            re-blasting and racing the portfolio per query.  Statuses,
+            hole values, counterexample sequences and iteration counts are
+            identical either way by construction.
         random_probes: candidate-step random probe attempts per iteration.
     """
     start = time.monotonic()
@@ -278,16 +382,55 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
     input_widths = _collect_inputs(obligations, hole_widths)
     examples = _initial_examples(input_widths, rng, initial_random_examples)
 
-    result = CegisResult(status="unknown", incremental=incremental)
+    result = CegisResult(status="unknown", incremental=incremental,
+                         incremental_verify=incremental_verify)
     constraints_base = list(hole_constraints)
 
     session: Optional[IncrementalSmtSession] = None
     asserted: List[BVExpr] = []
-    substituted_examples = 0
     if incremental:
         session = IncrementalSmtSession()
         session.assert_constraints(constraints_base)
         asserted.extend(constraints_base)
+
+    verify_session: Optional[IncrementalVerifySession] = None
+    #: Which holes the candidate constraints mention so far.  Blocking
+    #: constraints are only emitted over holes in this set: a core can
+    #: name a hole bit that substitution folded out of every example so
+    #: far, and blasting it early (something the portfolio-verified run
+    #: never does) would skew the candidate AIG's input order — and with
+    #: it the canonical model — between the two verifier modes.
+    seen_holes: set = set()
+
+    def _note_holes(constraints: Sequence[BVExpr]) -> None:
+        for constraint in constraints:
+            seen_holes.update(name for name in var_widths(constraint)
+                              if name in hole_widths)
+
+    #: The shared temporal order of candidate constraints: ``("example",
+    #: input_assignment, prebuilt_constraints_or_None)`` and ``("blocking",
+    #: expr, None)`` events as they were discovered.  Both candidate modes
+    #: assert constraints in exactly this sequence (a blocking constraint
+    #: right after the counterexample that produced it), so they build
+    #: identical AIG namespaces and therefore identical canonical models.
+    #: In incremental-verify mode each example's constraints are built once
+    #: at discovery (``seen_holes`` needs them) and carried here so the
+    #: incremental candidate step does not substitute them a second time.
+    event_log: List[Tuple[str, object, Optional[List[BVExpr]]]] = []
+    if incremental_verify:
+        # Blast the sketch cone and spec miters exactly once per run; every
+        # iteration's verify query is an assumption solve against this.
+        verify_session = IncrementalVerifySession(obligations, hole_widths,
+                                                  input_widths)
+        _note_holes(constraints_base)
+        for example in examples:
+            constraints = _example_constraints(obligations, input_widths,
+                                               example)
+            _note_holes(constraints)
+            event_log.append(("example", example, constraints))
+    else:
+        event_log.extend(("example", example, None) for example in examples)
+    asserted_events = 0
 
     for iteration in range(1, max_iterations + 1):
         result.iterations = iteration
@@ -299,27 +442,39 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         # ---------------- candidate step ---------------- #
         candidate_start = time.monotonic()
         if incremental:
-            # Only the examples gained since the last round are substituted
+            # Only the events gained since the last round are substituted
             # and asserted; everything older is already in the context.
-            new_constraints: List[BVExpr] = []
-            for example in examples[substituted_examples:]:
-                new_constraints.extend(
-                    _example_constraints(obligations, input_widths, example))
-            substituted_examples = len(examples)
-            session.assert_constraints(new_constraints)
-            asserted.extend(new_constraints)
+            for kind, payload, prebuilt in event_log[asserted_events:]:
+                if kind == "example":
+                    constraints = prebuilt if prebuilt is not None else \
+                        _example_constraints(obligations, input_widths, payload)
+                    session.assert_constraints(constraints)
+                    asserted.extend(constraints)
+                else:
+                    session.assert_constraints([payload])
+            asserted_events = len(event_log)
             candidate_constraints: Sequence[BVExpr] = asserted
+            sat_constraints: Optional[List[BVExpr]] = None
         else:
             # From-scratch: re-substitute the sketch for *all* accumulated
-            # examples, as the historical implementation did.
+            # examples, as the historical implementation did.  The probing
+            # layers see only the example constraints; the throwaway SAT
+            # session additionally gets the blocking constraints, replayed
+            # in the shared temporal order.
             candidate_constraints = list(constraints_base)
-            for example in examples:
-                candidate_constraints.extend(
-                    _example_constraints(obligations, input_widths, example))
+            sat_constraints = list(constraints_base)
+            for kind, payload, _prebuilt in event_log:
+                if kind == "example":
+                    constraints = _example_constraints(obligations,
+                                                       input_widths, payload)
+                    candidate_constraints.extend(constraints)
+                    sat_constraints.extend(constraints)
+                else:
+                    sat_constraints.append(payload)
 
         model, status, strategy = _solve_candidate(
-            candidate_constraints, iteration, seed, random_probes,
-            deadline, session, budget, result)
+            candidate_constraints, sat_constraints, iteration, seed,
+            random_probes, deadline, session, budget, result)
         result.candidate_strategy = strategy
         result.candidate_time_seconds += time.monotonic() - candidate_start
         if status == "unsat":
@@ -339,10 +494,17 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         # ---------------- verification step ---------------- #
         verified = True
         abort = False
-        for obligation in obligations:
+        verify_start = time.monotonic()
+        for index, obligation in enumerate(obligations):
             concrete_sketch = substitute(obligation.sketch, hole_bindings)
+            sat_layer = None
+            if verify_session is not None:
+                sat_layer = _verify_sat_layer(verify_session, index,
+                                              hole_values, budget)
             equivalence = check_equivalence(concrete_sketch, obligation.spec,
-                                            deadline=deadline, solver=solver)
+                                            deadline=deadline, solver=solver,
+                                            canonical=True,
+                                            sat_layer=sat_layer)
             result.verify_strategy = equivalence.strategy
             if equivalence.is_equivalent:
                 continue
@@ -366,7 +528,32 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                 abort = True
                 break
             examples.append(counterexample)
+            if verify_session is None:
+                event_log.append(("example", counterexample, None))
+            else:
+                # Core-driven pruning: ask the warm session *which* hole
+                # bits doomed this candidate on the counterexample, and
+                # block the whole prefix — entailed by the example
+                # constraint just queued, so the trajectory is unchanged.
+                # Emit only over holes the candidate constraints (now
+                # including the new counterexample's) already introduce:
+                # see the ``seen_holes`` comment above.
+                new_constraints = _example_constraints(obligations,
+                                                       input_widths,
+                                                       counterexample)
+                _note_holes(new_constraints)
+                event_log.append(("example", counterexample, new_constraints))
+                prefix = verify_session.failure_core(index, hole_values,
+                                                     counterexample,
+                                                     deadline=deadline)
+                if prefix is not None and \
+                        all(name in seen_holes for name, _, _ in prefix):
+                    event_log.append(
+                        ("blocking",
+                         _blocking_constraint(prefix, hole_widths), None))
+                    result.cores_pruned += 1
             break
+        result.verify_time_seconds += time.monotonic() - verify_start
 
         if abort:
             break
@@ -376,7 +563,10 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
             break
 
     if session is not None:
-        result.solver_restarts = session.restarts
+        result.solver_restarts += session.restarts
         result.clauses_retained = session.clauses_retained
+    if verify_session is not None:
+        result.solver_restarts += verify_session.restarts
+        result.verify_clauses_retained = verify_session.clauses_retained
     result.time_seconds = time.monotonic() - start
     return result

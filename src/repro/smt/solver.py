@@ -28,10 +28,70 @@ from repro.bv.bitblast import BitBlaster, IncrementalContext
 from repro.bv.cnf import aig_to_cnf, lit_to_cnf
 from repro.bv.eval import evaluate, var_widths
 from repro.sat.portfolio import SatPortfolio
-from repro.sat.solver import CDCLSolver
+from repro.sat.solver import CDCLSolver, SatResult
 from repro.smt.model import Model
 
-__all__ = ["SmtResult", "check_sat", "SmtSolver", "IncrementalSmtSession"]
+__all__ = ["SmtResult", "check_sat", "SmtSolver", "IncrementalSmtSession",
+           "lex_min_model"]
+
+
+def _canonical_bit_order(bit_vars: Dict[str, int]) -> List[int]:
+    """CNF variables of named input bits in canonical minimization order.
+
+    Bits are ordered by variable name ascending and, within one variable,
+    most-significant bit first — so greedily zeroing bits in this order
+    converges to the assignment minimizing the tuple of *integer values*
+    of the variables taken in name order.  The order is a property of the
+    bit names alone, never of AIG/CNF construction order, which is what
+    lets two differently-built encodings of the same formula agree on one
+    canonical model.
+    """
+    def key(item):
+        bit_name = item[0]
+        name, _, index_part = bit_name.rpartition("[")
+        return (name, -int(index_part[:-1]))
+    return [var for _, var in sorted(bit_vars.items(), key=key)]
+
+
+def lex_min_model(solver: CDCLSolver, bits, model: Dict[int, bool],
+                  base: Sequence[int] = (),
+                  deadline: Optional[float] = None,
+                  on_solve=None) -> Optional[Dict[int, bool]]:
+    """Refine ``model`` to the unique greedy-minimal input-bit assignment.
+
+    ``bits`` is either a bit-name → CNF-variable mapping — minimized in
+    the canonical order of :func:`_canonical_bit_order` — or an explicit
+    variable sequence, minimized in the given order.  ``base`` is a fixed
+    assumption prefix held throughout (the incremental verifier passes the
+    candidate's hole bindings and the gated miter output); the greedy pass
+    then walks the bits in order, keeping each bit it can prove zeroable
+    under the already-fixed prefix.  The result is the unique satisfying
+    assignment minimizing the ordered bit tuple — a property of the
+    constraint set and the order, not of the search — so a warm
+    incremental solver and a cold portfolio member canonicalize to the
+    very same model.  ``on_solve`` observes every trial result (the
+    candidate session uses it for conflict accounting).  Returns ``None``
+    if the deadline expires mid-refinement.
+    """
+    solver.deadline = deadline
+    ordered = _canonical_bit_order(bits) if isinstance(bits, dict) else list(bits)
+    prefix: List[int] = list(base)
+    for var in ordered:
+        if not model.get(var, False):
+            # Already 0: the current model witnesses this prefix.
+            prefix.append(-var)
+            continue
+        trial = solver.solve(prefix + [-var])
+        if on_solve is not None:
+            on_solve(trial)
+        if trial.is_sat:
+            model = trial.model
+            prefix.append(-var)
+        elif trial.is_unsat:
+            prefix.append(var)
+        else:
+            return None
+    return model
 
 
 @dataclass
@@ -68,7 +128,21 @@ class SmtSolver:
 
     # ------------------------------------------------------------------ #
     def check(self, constraints: Sequence[BVExpr],
-              deadline: Optional[float] = None) -> SmtResult:
+              deadline: Optional[float] = None,
+              canonical: bool = False,
+              sat_layer=None) -> SmtResult:
+        """Decide satisfiability with the layered strategy.
+
+        ``canonical=True`` refines any SAT model found by the portfolio to
+        the canonical (name-ordered lexicographically smallest) input
+        assignment, making layer-3 models search-independent.
+        ``sat_layer`` replaces the blast-and-race layer with a caller
+        supplied ``(formula, widths, deadline) -> SmtResult`` — the seam
+        the incremental verifier plugs its persistent session into, while
+        layers 1–2 (normalisation, random probing) stay byte-for-byte
+        shared between the portfolio and incremental paths (including the
+        probing RNG stream, which both modes must consume identically).
+        """
         start = time.monotonic()
         for constraint in constraints:
             if constraint.width != 1:
@@ -93,30 +167,98 @@ class SmtSolver:
                 return SmtResult("sat", Model(assignment, widths), "simulate",
                                  time.monotonic() - start)
 
-        # Layer 3: bit-blast and hand to the SAT portfolio.
+        # Layer 3: hand to the pluggable SAT layer (an incremental session)
+        # or bit-blast and race the portfolio.
+        if sat_layer is not None:
+            return sat_layer(formula, widths, deadline)
         blaster = BitBlaster()
         bits = blaster.blast(formula)
         cnf, input_vars = aig_to_cnf(blaster.aig, bits)
         sat_result, winner = self.portfolio.solve(cnf, deadline=deadline)
-        elapsed = time.monotonic() - start
         if sat_result.is_unknown:
-            return SmtResult("unknown", None, "timeout", elapsed, sat_result.conflicts)
+            return SmtResult("unknown", None, "timeout",
+                             time.monotonic() - start, sat_result.conflicts)
         if sat_result.is_unsat:
-            return SmtResult("unsat", None, f"sat:{winner}", elapsed, sat_result.conflicts)
+            return SmtResult("unsat", None, f"sat:{winner}",
+                             time.monotonic() - start, sat_result.conflicts)
+
+        model = sat_result.model
+        if canonical:
+            refiner = CDCLSolver(cnf, deadline=deadline)
+            model = lex_min_model(refiner, input_vars, model, deadline=deadline)
+            if model is None:
+                # Deadline expired mid-refinement: report unknown rather
+                # than the unrefined (search-dependent) model — the same
+                # conservative choice IncrementalSmtSession.check makes.
+                # Returning the raw model here would make near-deadline
+                # counterexamples diverge between solver backends and
+                # verifier modes, silently breaking the canonical-model
+                # equality everything downstream relies on; a run this
+                # close to its budget ends in "timeout" either way.
+                return SmtResult("unknown", None, "timeout",
+                                 time.monotonic() - start, sat_result.conflicts)
 
         values: Dict[str, int] = {name: 0 for name in widths}
         for bit_name, cnf_var in input_vars.items():
-            if not sat_result.model.get(cnf_var, False):
+            if not model.get(cnf_var, False):
                 continue
             var_name, _, index_part = bit_name.rpartition("[")
             bit_index = int(index_part[:-1])
             if var_name in values:
                 values[var_name] |= 1 << bit_index
-        return SmtResult("sat", Model(values, widths), f"sat:{winner}", elapsed,
-                         sat_result.conflicts)
+        return SmtResult("sat", Model(values, widths), f"sat:{winner}",
+                         time.monotonic() - start, sat_result.conflicts)
 
 
-class IncrementalSmtSession:
+class WarmSolverHost:
+    """Shared warm-solver plumbing for incremental sessions.
+
+    Owns one lazily-built :class:`CDCLSolver` kept in sync with a growing
+    :class:`~repro.bv.bitblast.IncrementalContext` CNF (``self.context``),
+    plus the restart bookkeeping.  Both the candidate session
+    (:class:`IncrementalSmtSession`) and the verifier
+    (:class:`~repro.smt.equivalence.IncrementalVerifySession`) host their
+    solver through this class, so the sync-cursor/restart semantics cannot
+    drift between them.
+    """
+
+    def _init_solver_state(self) -> None:
+        self._solver: Optional[CDCLSolver] = None
+        self._synced_clauses = 0
+        self.restarts = 0
+
+    def restart(self) -> None:
+        """Drop the warm solver; the context (and its literals) survive.
+
+        The next query rebuilds a cold solver from the full accumulated
+        CNF.  Because every model the sessions return is canonical (a
+        property of the constraint set, not of the search), restarting is
+        purely a scheduling decision — CEGIS uses it when a warm solve
+        burns its budget slice without answering.
+        """
+        if self._solver is not None:
+            self._solver = None
+            self._synced_clauses = 0
+            self.restarts += 1
+
+    @property
+    def clauses_retained(self) -> int:
+        """Learned clauses currently carried by the warm solver."""
+        return self._solver.learned_count if self._solver is not None else 0
+
+    def _sync_solver(self) -> CDCLSolver:
+        """Feed clauses appended since the last check into the live solver."""
+        if self._solver is None:
+            self._solver = CDCLSolver()
+        cnf = self.context.cnf
+        self._solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses[self._synced_clauses:]:
+            self._solver.add_clause(clause)
+        self._synced_clauses = len(cnf.clauses)
+        return self._solver
+
+
+class IncrementalSmtSession(WarmSolverHost):
     """An incremental word-level solving session: assert once, check often.
 
     Unlike :func:`check_sat`, constraints asserted here are *cumulative*:
@@ -141,13 +283,11 @@ class IncrementalSmtSession:
 
     def __init__(self) -> None:
         self.context = IncrementalContext()
-        self._solver: Optional[CDCLSolver] = None
-        self._synced_clauses = 0
+        self._init_solver_state()
         self._widths: Dict[str, int] = {}
         self._root_unsat = False
         #: Session statistics (cumulative over the session's lifetime).
         self.checks = 0
-        self.restarts = 0
         self.conflicts = 0
         self.asserted = 0
 
@@ -180,24 +320,6 @@ class IncrementalSmtSession:
         for lit in output_lits:
             self.context.encoder.cnf.add_clause([lit_to_cnf(lit)])
 
-    def restart(self) -> None:
-        """Drop the warm solver; the context (and its literals) survive.
-
-        The next :meth:`check` rebuilds a cold solver from the full
-        accumulated CNF.  With the stable configuration the answer is
-        unchanged — restarting is purely a scheduling decision (CEGIS uses
-        it when a warm solve burned a budget slice without answering).
-        """
-        if self._solver is not None:
-            self._solver = None
-            self._synced_clauses = 0
-            self.restarts += 1
-
-    @property
-    def clauses_retained(self) -> int:
-        """Learned clauses currently carried by the warm solver."""
-        return self._solver.learned_count if self._solver is not None else 0
-
     def stats(self) -> Dict[str, int]:
         return {"checks": self.checks, "restarts": self.restarts,
                 "conflicts": self.conflicts, "asserted": self.asserted,
@@ -206,52 +328,43 @@ class IncrementalSmtSession:
                 "cnf_vars": self.context.cnf.num_vars}
 
     # ------------------------------------------------------------------ #
-    def _sync_solver(self) -> CDCLSolver:
-        """Feed clauses appended since the last check into the live solver."""
-        if self._solver is None:
-            self._solver = CDCLSolver()
-        cnf = self.context.cnf
-        self._solver.ensure_vars(cnf.num_vars)
-        for clause in cnf.clauses[self._synced_clauses:]:
-            self._solver.add_clause(clause)
-        self._synced_clauses = len(cnf.clauses)
-        return self._solver
-
     def _lex_minimize(self, solver: CDCLSolver,
                       model: Dict[int, bool]) -> Optional[Dict[int, bool]]:
         """Refine a model to the lex-smallest input-variable assignment.
 
         The search heuristics (and any warm solver state) determine only
         which model is found *first*; this greedy pass — walk the input
-        bits in index order, try to flip each 1 to 0 under the already
-        fixed prefix — converges to the unique lexicographically smallest
-        satisfying input assignment.  Tseitin variables are functionally
-        forced by the inputs, so the whole model is canonical.  Returns
-        None on a deadline expiry mid-refinement.
+        bits in CNF-variable (assertion) order, try to flip each 1 to 0
+        under the already fixed prefix — converges to the unique
+        lexicographically smallest satisfying input assignment in that
+        order.  Tseitin variables are functionally forced by the inputs,
+        so the whole model is canonical.  Returns None on a deadline
+        expiry mid-refinement.
 
+        Deliberately NOT the name-based order of
+        :func:`_canonical_bit_order` that the verify side uses: candidate
+        formulas are much cheaper to minimize in assertion order (the
+        greedy prefix then follows constraint structure), and switching
+        orders would change every candidate canonical model — silently
+        invalidating cross-version result equality for persistent caches.
         The bit order is the AIG input order, which is determined by the
         order constraints were asserted — identical for an incremental
-        session and a from-scratch one replaying the same assertions.
-        Zero bits are free (the current model witnesses them); only bits
-        currently 1 need a solver call, and the solver's assumption-prefix
-        trail reuse makes consecutive calls re-propagate almost nothing.
+        session and a from-scratch one replaying the same assertion
+        sequence (CEGIS replays examples and blocking constraints in one
+        shared temporal order for exactly this reason, and only emits
+        blocking constraints over hole bits some example has already
+        introduced, so the input order never depends on the verifier
+        mode).  Zero bits are free (the current model witnesses them);
+        only bits currently 1 need a solver call, and the solver's
+        assumption-prefix trail reuse makes consecutive calls re-propagate
+        almost nothing.
         """
-        prefix: List[int] = []
-        for var in sorted(self.context.input_vars().values()):
-            if not model.get(var, False):
-                # Already 0: the current model witnesses this prefix.
-                prefix.append(-var)
-                continue
-            trial = solver.solve(prefix + [-var])
-            self.conflicts += trial.conflicts
-            if trial.is_sat:
-                model = trial.model
-                prefix.append(-var)
-            elif trial.is_unsat:
-                prefix.append(var)
-            else:
-                return None
-        return model
+
+        def note(result: SatResult) -> None:
+            self.conflicts += result.conflicts
+
+        return lex_min_model(solver, sorted(self.context.input_vars().values()),
+                             model, deadline=solver.deadline, on_solve=note)
 
     def check(self, deadline: Optional[float] = None) -> SmtResult:
         """Decide satisfiability of everything asserted so far."""
@@ -299,9 +412,12 @@ _DEFAULT_SOLVER = SmtSolver()
 
 def check_sat(constraints: Sequence[BVExpr] | BVExpr,
               deadline: Optional[float] = None,
-              solver: Optional[SmtSolver] = None) -> SmtResult:
+              solver: Optional[SmtSolver] = None,
+              canonical: bool = False,
+              sat_layer=None) -> SmtResult:
     """Decide satisfiability of a constraint (or conjunction of constraints)."""
     if isinstance(constraints, BVExpr):
         constraints = [constraints]
     active = solver if solver is not None else _DEFAULT_SOLVER
-    return active.check(list(constraints), deadline=deadline)
+    return active.check(list(constraints), deadline=deadline,
+                        canonical=canonical, sat_layer=sat_layer)

@@ -1,0 +1,25 @@
+"""Shared test constants and helpers (imported by conftest fixtures).
+
+Lives in its own module (not ``conftest.py``) so test files can import the
+constants directly — ``import conftest`` is ambiguous from the repo root,
+where ``benchmarks/conftest.py`` shadows this directory's.
+"""
+
+from repro.workloads import sample_workloads
+
+#: 4-bit bitwise AND — the cheapest mappable design (LUT templates).
+AND4 = ("module f(input [3:0] a, b, output [3:0] out);"
+        " assign out = a & b; endmodule")
+#: 4-bit adder (carry-chain / LUT templates).
+ADD4 = ("module g(input [3:0] a, b, output [3:0] out);"
+        " assign out = a + b; endmodule")
+#: 8-bit combinational multiply — the cheapest DSP-template design.
+MUL8 = ("module mul(input clk, input [7:0] a, b, output [7:0] out);"
+        " assign out = a * b; endmodule")
+
+
+def small_workloads(count: int = 4, architecture: str = "intel-cyclone10lp",
+                    seed: int = 0, max_width: int = 8):
+    """A small stratified workload sample (quick to synthesize)."""
+    return sample_workloads(architecture, count, seed=seed,
+                            max_width=max_width)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Hoists the loaders, Verilog sources and workload samplers that used to be
+copy-pasted across ``test_engine.py``, ``test_incremental.py``,
+``test_parallel.py`` and ``test_diskcache.py``:
+
+* the tiny behavioral Verilog designs (:data:`AND4`, :data:`ADD4`,
+  :data:`MUL8`) every session-level test maps;
+* the vendor primitive library and architecture-description loaders
+  (session-scoped — both are immutable after construction);
+* the stratified small-workload sampler (``fast_benchmarks``);
+* a per-test persistent-cache directory (``cache_dir``).
+
+The constants themselves live in ``_fixtures.py`` (importable as ``from
+_fixtures import AND4`` — ``conftest`` is not an importable name from the
+repo root, where ``benchmarks/conftest.py`` shadows it).
+"""
+
+import pytest
+
+from repro.arch import load_architecture
+from repro.vendor.library import PrimitiveLibrary
+
+from _fixtures import ADD4, AND4, MUL8, small_workloads
+
+
+@pytest.fixture
+def and4_verilog() -> str:
+    return AND4
+
+
+@pytest.fixture
+def add4_verilog() -> str:
+    return ADD4
+
+
+@pytest.fixture
+def mul8_verilog() -> str:
+    return MUL8
+
+
+@pytest.fixture(scope="session")
+def primitive_library() -> PrimitiveLibrary:
+    """One shared vendor library (model parsing is pure and read-only)."""
+    return PrimitiveLibrary()
+
+
+@pytest.fixture(scope="session")
+def arch_loader():
+    """Memoizing architecture-description loader (YAML parsed once each)."""
+    cache = {}
+
+    def load(name: str):
+        if name not in cache:
+            cache[name] = load_architecture(name)
+        return cache[name]
+
+    return load
+
+
+@pytest.fixture
+def fast_benchmarks():
+    """Factory fixture over :func:`small_workloads`."""
+    return small_workloads
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """A fresh directory for a persistent synthesis cache."""
+    return tmp_path / "synthesis-cache"

@@ -18,10 +18,7 @@ from repro.engine.diskcache import (
 )
 from repro.engine.session import MappingSession
 
-AND4 = ("module f(input [3:0] a, b, output [3:0] out);"
-        " assign out = a & b; endmodule")
-MUL8 = ("module mul(input clk, input [7:0] a, b, output [7:0] out);"
-        " assign out = a * b; endmodule")
+from _fixtures import AND4, MUL8
 
 KEY = SynthesisCache.key("fingerprint", "sofa", "bitwise", 60.0, 1, True)
 

@@ -29,12 +29,7 @@ from repro.sat.portfolio import SatPortfolio, default_portfolio
 from repro.sat.solver import SatResult
 from repro.workloads import sample_workloads
 
-AND4 = ("module f(input [3:0] a, b, output [3:0] out);"
-        " assign out = a & b; endmodule")
-ADD4 = ("module g(input [3:0] a, b, output [3:0] out);"
-        " assign out = a + b; endmodule")
-MUL8 = ("module mul(input clk, input [7:0] a, b, output [7:0] out);"
-        " assign out = a * b; endmodule")
+from _fixtures import ADD4, AND4, MUL8
 
 
 class TestBudget:

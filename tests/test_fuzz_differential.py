@@ -1,0 +1,264 @@
+"""Seeded differential fuzzing across the solver stack.
+
+Two independent implementations that must agree exactly are only as
+trustworthy as the inputs they have been compared on.  This suite generates
+random instances from a seed and cross-checks:
+
+* every registered CDCL configuration (``cdcl``, ``cdcl-agile``,
+  ``cdcl-stable``, ``cdcl-static``) and DPLL against brute-force
+  enumeration on random CNFs — sat/unsat status and model validity;
+* the word-level ``check_sat`` stack (simplify → blast → CNF → solver)
+  against brute-force evaluation on random bitvector constraints;
+* all four CEGIS mode combinations (``incremental`` ×
+  ``incremental_verify``) against each other — statuses, hole values,
+  iteration and example counts — and the winning hole assignments against
+  brute-force enumeration of the full hole space.
+
+Every case derives its RNG from ``LAKEROAD_FUZZ_SEED`` (default 0) and its
+case index; failing assertions embed the case seed so a failure replays
+with ``LAKEROAD_FUZZ_SEED=<seed> pytest tests/test_fuzz_differential.py``.
+CI runs a fixed seed matrix with larger case counts
+(``LAKEROAD_FUZZ_*_CASES``); the defaults keep the tier-1 run fast.
+"""
+
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.bv import (
+    bv, bvvar, bvadd, bvsub, bvmul, bvand, bvor, bvxor, bvnot, bvneg,
+    bveq, bvne, bvult, bvite,
+)
+from repro.bv.eval import evaluate
+from repro.engine.backends import backend_by_name
+from repro.sat.cnf import CNF
+from repro.smt.cegis import Obligation, synthesize
+from repro.smt.solver import SmtSolver, check_sat
+
+pytestmark = pytest.mark.fuzz
+
+FUZZ_SEED = int(os.environ.get("LAKEROAD_FUZZ_SEED", "0"))
+CNF_CASES = int(os.environ.get("LAKEROAD_FUZZ_CNF_CASES", "120"))
+BV_CASES = int(os.environ.get("LAKEROAD_FUZZ_BV_CASES", "40"))
+CEGIS_CASES = int(os.environ.get("LAKEROAD_FUZZ_CEGIS_CASES", "18"))
+
+#: Every default portfolio member plus the diversified CDCL configs.
+SOLVER_BACKENDS = ("cdcl", "cdcl-agile", "cdcl-stable", "cdcl-static", "dpll")
+
+
+def _case_seed(stream: str, index: int) -> int:
+    # crc32, not hash(): the builtin is PYTHONHASHSEED-randomized per
+    # process, which would make the replay instruction a lie.
+    return (FUZZ_SEED * 1_000_003 + index) ^ (zlib.crc32(stream.encode()) & 0xFFFF)
+
+
+def _replay(stream: str, case_seed: int) -> str:
+    return (f"[{stream} case seed {case_seed}; replay with "
+            f"LAKEROAD_FUZZ_SEED={FUZZ_SEED}]")
+
+
+# --------------------------------------------------------------------------- #
+# Random instance generators
+# --------------------------------------------------------------------------- #
+def _random_cnf(rng: random.Random) -> CNF:
+    num_vars = rng.randint(2, 8)
+    clauses = []
+    for _ in range(rng.randint(2, 30)):
+        clause = []
+        for _ in range(rng.randint(1, 4)):
+            var = rng.randint(1, num_vars)
+            clause.append(var if rng.random() < 0.5 else -var)
+        clauses.append(clause)
+    return CNF(num_vars=num_vars, clauses=clauses)
+
+
+def _brute_force_cnf(cnf: CNF) -> str:
+    for bits in range(1 << cnf.num_vars):
+        assignment = [None] + [bool((bits >> i) & 1)
+                               for i in range(cnf.num_vars)]
+        if cnf.evaluate(assignment):
+            return "sat"
+    return "unsat"
+
+
+_BINARY_OPS = (bvadd, bvsub, bvmul, bvand, bvor, bvxor)
+_UNARY_OPS = (bvnot, bvneg)
+
+
+def _random_expr(rng: random.Random, variables, width: int, depth: int):
+    """A random well-widthed expression over ``variables`` (name -> width)."""
+    if depth <= 0 or rng.random() < 0.25:
+        named = [name for name, w in variables.items() if w == width]
+        if named and rng.random() < 0.7:
+            return bvvar(rng.choice(named), width)
+        return bv(rng.getrandbits(width), width)
+    roll = rng.random()
+    if roll < 0.15 and width == 1:
+        # A predicate over wider operands.
+        operand_width = rng.randint(1, 3)
+        lhs = _random_expr(rng, variables, operand_width, depth - 1)
+        rhs = _random_expr(rng, variables, operand_width, depth - 1)
+        return rng.choice((bveq, bvne, bvult))(lhs, rhs)
+    if roll < 0.30:
+        return rng.choice(_UNARY_OPS)(
+            _random_expr(rng, variables, width, depth - 1))
+    if roll < 0.45:
+        condition = _random_expr(rng, variables, 1, depth - 1)
+        return bvite(condition,
+                     _random_expr(rng, variables, width, depth - 1),
+                     _random_expr(rng, variables, width, depth - 1))
+    return rng.choice(_BINARY_OPS)(
+        _random_expr(rng, variables, width, depth - 1),
+        _random_expr(rng, variables, width, depth - 1))
+
+
+def _assignments(variables):
+    """Every concrete assignment of ``variables`` (small widths only)."""
+    names = sorted(variables)
+    total = 1
+    for name in names:
+        total <<= variables[name]
+    for encoded in range(total):
+        assignment = {}
+        shift = encoded
+        for name in names:
+            width = variables[name]
+            assignment[name] = shift & ((1 << width) - 1)
+            shift >>= width
+        yield assignment
+
+
+# --------------------------------------------------------------------------- #
+# (a) SAT-solver differential: backends vs DPLL vs brute force
+# --------------------------------------------------------------------------- #
+class TestSolverDifferential:
+    def test_backends_agree_with_brute_force_on_random_cnfs(self):
+        for index in range(CNF_CASES):
+            case_seed = _case_seed("cnf", index)
+            rng = random.Random(case_seed)
+            cnf = _random_cnf(rng)
+            expected = _brute_force_cnf(cnf)
+            for name in SOLVER_BACKENDS:
+                result = backend_by_name(name).solve(cnf, None, ())
+                assert result.status == expected, \
+                    (f"{name} answered {result.status}, brute force says "
+                     f"{expected} on {cnf.clauses!r} {_replay('cnf', case_seed)}")
+                if result.is_sat:
+                    assignment = [None] + [bool(result.model.get(var, False))
+                                           for var in range(1, cnf.num_vars + 1)]
+                    assert cnf.evaluate(assignment), \
+                        (f"{name} returned an invalid model on "
+                         f"{cnf.clauses!r} {_replay('cnf', case_seed)}")
+
+    def test_assumption_solves_agree_with_unit_clauses(self):
+        for index in range(CNF_CASES // 2):
+            case_seed = _case_seed("assumptions", index)
+            rng = random.Random(case_seed)
+            cnf = _random_cnf(rng)
+            assumptions = [rng.randint(1, cnf.num_vars)
+                           * (1 if rng.random() < 0.5 else -1)
+                           for _ in range(rng.randint(1, 3))]
+            with_units = CNF(num_vars=cnf.num_vars,
+                             clauses=cnf.clauses + [[lit] for lit in assumptions])
+            expected = _brute_force_cnf(with_units)
+            for name in SOLVER_BACKENDS:
+                result = backend_by_name(name).solve(cnf, None, assumptions)
+                assert result.status == expected, \
+                    (f"{name} under assumptions {assumptions!r} answered "
+                     f"{result.status}, brute force says {expected} "
+                     f"{_replay('assumptions', case_seed)}")
+
+
+# --------------------------------------------------------------------------- #
+# (b) Word-level differential: check_sat vs brute-force evaluation
+# --------------------------------------------------------------------------- #
+class TestWordLevelDifferential:
+    def test_check_sat_agrees_with_brute_force_on_random_formulas(self):
+        for index in range(BV_CASES):
+            case_seed = _case_seed("bv", index)
+            rng = random.Random(case_seed)
+            variables = {"a": rng.randint(1, 3), "b": rng.randint(1, 3)}
+            constraint = _random_expr(rng, variables, 1, rng.randint(1, 4))
+            expected = "unsat"
+            for assignment in _assignments(variables):
+                if evaluate(constraint, assignment):
+                    expected = "sat"
+                    break
+            result = check_sat(constraint, solver=SmtSolver(seed=case_seed))
+            assert result.status == expected, \
+                (f"check_sat answered {result.status}, brute force says "
+                 f"{expected} on {constraint!r} {_replay('bv', case_seed)}")
+            if result.is_sat:
+                witness = {name: result.model.get(name, 0)
+                           for name in variables}
+                assert evaluate(constraint, witness), \
+                    (f"check_sat returned an invalid model {witness!r} on "
+                     f"{constraint!r} {_replay('bv', case_seed)}")
+
+
+# --------------------------------------------------------------------------- #
+# (c) CEGIS differential: four mode combinations vs brute force
+# --------------------------------------------------------------------------- #
+class TestCegisDifferential:
+    def test_mode_combinations_agree_and_match_brute_force(self):
+        checked_sat = 0
+        checked_unsat = 0
+        for index in range(CEGIS_CASES):
+            case_seed = _case_seed("cegis", index)
+            rng = random.Random(case_seed)
+            width = rng.randint(1, 3)
+            inputs = {"a": rng.randint(1, 3), "b": rng.randint(1, 3)}
+            holes = {"h0": rng.randint(1, 3)}
+            if rng.random() < 0.5:
+                holes["h1"] = rng.randint(1, 2)
+            spec = _random_expr(rng, inputs, width, rng.randint(1, 3))
+            sketch = _random_expr(rng, {**inputs, **holes}, width,
+                                  rng.randint(1, 4))
+            obligation = Obligation(spec=spec, sketch=sketch)
+
+            outcomes = {}
+            for incremental in (False, True):
+                for incremental_verify in (False, True):
+                    outcomes[(incremental, incremental_verify)] = synthesize(
+                        [obligation], holes,
+                        incremental=incremental,
+                        incremental_verify=incremental_verify,
+                        solver=SmtSolver(seed=0), seed=case_seed & 0xFFFF,
+                        max_iterations=256)
+            base = outcomes[(False, False)]
+            for key, outcome in outcomes.items():
+                context = (f"mode {key} vs (False, False) on spec={spec!r} "
+                           f"sketch={sketch!r} {_replay('cegis', case_seed)}")
+                assert outcome.status == base.status, context
+                assert outcome.hole_values == base.hole_values, context
+                assert outcome.iterations == base.iterations, context
+                assert outcome.examples_used == base.examples_used, context
+
+            # Brute-force oracle over the (small) hole space.
+            def implements(hole_assignment):
+                return all(
+                    evaluate(sketch, {**point, **hole_assignment})
+                    == evaluate(spec, point)
+                    for point in _assignments(inputs))
+
+            assert base.status in ("sat", "unsat"), \
+                (f"undeadlined CEGIS degraded to {base.status!r} "
+                 f"({base.diagnostic!r}) {_replay('cegis', case_seed)}")
+            if base.status == "sat":
+                assert implements(base.hole_values), \
+                    (f"returned holes {base.hole_values!r} do not implement "
+                     f"spec={spec!r} sketch={sketch!r} "
+                     f"{_replay('cegis', case_seed)}")
+                checked_sat += 1
+            else:
+                assert not any(implements(assignment)
+                               for assignment in _assignments(holes)), \
+                    (f"CEGIS said unsat but a hole assignment exists for "
+                     f"spec={spec!r} sketch={sketch!r} "
+                     f"{_replay('cegis', case_seed)}")
+                checked_unsat += 1
+        # The generator must exercise both outcomes, or the oracle is idle.
+        assert checked_sat > 0 and checked_unsat > 0, \
+            (checked_sat, checked_unsat)

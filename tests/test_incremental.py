@@ -24,7 +24,6 @@ from repro.sat.cnf import CNF
 from repro.sat.solver import CDCLSolver
 from repro.smt.cegis import Obligation, synthesize
 from repro.smt.solver import IncrementalSmtSession, SmtSolver
-from repro.workloads.generator import sample_workloads
 
 
 def _random_clauses(rng, num_vars, num_clauses):
@@ -241,16 +240,23 @@ class TestIncrementalSmtSession:
 
 
 def _assert_modes_equal(obligations, hole_widths, **kwargs):
+    """All four (incremental x incremental_verify) combinations must agree
+    on status, hole values, iteration and example counts."""
     results = {}
     for incremental in (False, True):
-        results[incremental] = synthesize(
-            obligations, hole_widths, incremental=incremental,
-            solver=SmtSolver(seed=0), **kwargs)
-    scratch, warm = results[False], results[True]
-    assert scratch.status == warm.status
-    assert scratch.hole_values == warm.hole_values
-    assert scratch.iterations == warm.iterations
-    assert scratch.examples_used == warm.examples_used
+        for incremental_verify in (False, True):
+            results[(incremental, incremental_verify)] = synthesize(
+                obligations, hole_widths, incremental=incremental,
+                incremental_verify=incremental_verify,
+                solver=SmtSolver(seed=0), **kwargs)
+    scratch, warm = results[(False, False)], results[(True, False)]
+    for key, result in results.items():
+        assert result.status == scratch.status, key
+        assert result.hole_values == scratch.hole_values, key
+        assert result.iterations == scratch.iterations, key
+        assert result.examples_used == scratch.examples_used, key
+        assert result.incremental is key[0]
+        assert result.incremental_verify is key[1]
     assert warm.incremental and not scratch.incremental
     return scratch, warm
 
@@ -285,43 +291,46 @@ class TestIncrementalCegis:
             [Obligation(bvxor(bvmul(a, b), c), sketch)], {"sel": 1})
         assert scratch.status == "unsat"
 
-    def test_workload_generator_designs_equal_across_modes(self):
-        from repro.arch import load_architecture
+    def test_workload_generator_designs_equal_across_modes(
+            self, primitive_library, arch_loader, fast_benchmarks):
         from repro.core.sketch_gen import DesignInterface, generate_sketch
         from repro.core.synthesis import f_lr_star
-        from repro.vendor.library import PrimitiveLibrary
 
-        library = PrimitiveLibrary()
         checked = 0
         for arch_name in ("intel-cyclone10lp", "lattice-ecp5"):
-            architecture = load_architecture(arch_name)
-            for bench in sample_workloads(arch_name, 3, max_width=8):
+            architecture = arch_loader(arch_name)
+            for bench in fast_benchmarks(3, architecture=arch_name):
                 design = verilog_to_behavioral(bench.verilog)
                 interface = DesignInterface(
                     input_widths=dict(design.input_widths),
                     output_width=design.output_width)
-                sketch = generate_sketch("dsp", architecture, interface, library)
+                sketch = generate_sketch("dsp", architecture, interface,
+                                         primitive_library)
                 outcomes = {}
                 for incremental in (False, True):
-                    outcomes[incremental] = f_lr_star(
-                        sketch, design.program, at_time=design.pipeline_depth,
-                        cycles=1, timeout_seconds=60,
-                        solver=SmtSolver(seed=0), incremental=incremental)
-                assert outcomes[False].status == outcomes[True].status, bench.name
-                assert outcomes[False].hole_values == outcomes[True].hole_values, \
-                    bench.name
+                    for incremental_verify in (False, True):
+                        outcomes[(incremental, incremental_verify)] = f_lr_star(
+                            sketch, design.program, at_time=design.pipeline_depth,
+                            cycles=1, timeout_seconds=60,
+                            solver=SmtSolver(seed=0), incremental=incremental,
+                            incremental_verify=incremental_verify)
+                base = outcomes[(False, False)]
+                for key, outcome in outcomes.items():
+                    assert outcome.status == base.status, (bench.name, key)
+                    assert outcome.hole_values == base.hole_values, \
+                        (bench.name, key)
+                    assert outcome.cegis_iterations == base.cegis_iterations, \
+                        (bench.name, key)
                 checked += 1
         assert checked == 6
 
-    def test_mapping_session_incremental_knob(self):
-        source = ("module m(input clk, input [7:0] a, b, output [7:0] out);"
-                  " assign out = a * b; endmodule")
+    def test_mapping_session_incremental_knob(self, mul8_verilog):
         results = {}
         for incremental in (False, True):
             with MappingSession(enable_cache=False,
                                 incremental=incremental) as session:
                 results[incremental] = session.map_verilog(
-                    source, template="dsp", arch="intel-cyclone10lp",
+                    mul8_verilog, template="dsp", arch="intel-cyclone10lp",
                     timeout_seconds=60)
         assert results[False].status == results[True].status == "success"
         assert results[False].hole_values == results[True].hole_values
@@ -336,7 +345,7 @@ class TestIncrementalCegis:
         # A verifier that always returns the same bogus counterexample
         # simulates a buggy candidate solver; synthesize must degrade to
         # "unknown" with a diagnostic instead of raising.
-        def broken_equivalence(lhs, rhs, deadline=None, solver=None):
+        def broken_equivalence(lhs, rhs, deadline=None, solver=None, **kwargs):
             return EquivalenceResult(
                 "different", Model({"a": 0, "b": 0}, {"a": 1, "b": 1}))
 
@@ -377,11 +386,11 @@ class TestIncrementalCegis:
 
 
 class TestSweepEquality:
-    def test_parallel_sweep_records_equal_across_modes(self):
+    def test_parallel_sweep_records_equal_across_modes(self, fast_benchmarks):
         from repro.engine.parallel import SessionSpec, run_sweep
         from repro.harness.runner import ExperimentConfig
 
-        benchmarks = sample_workloads("intel-cyclone10lp", 4, max_width=8)
+        benchmarks = fast_benchmarks(4)
         records = {}
         for incremental in (False, True):
             config = ExperimentConfig(incremental=incremental)
@@ -394,3 +403,222 @@ class TestSweepEquality:
             assert scratch.dsps == warm.dsps
             assert scratch.luts == warm.luts
             assert warm.incremental and not scratch.incremental
+
+    def test_parallel_sweep_records_equal_across_verify_modes(
+            self, fast_benchmarks):
+        from repro.engine.parallel import SessionSpec, run_sweep
+        from repro.harness.runner import ExperimentConfig
+
+        benchmarks = fast_benchmarks(4)
+        records = {}
+        for incremental_verify in (False, True):
+            config = ExperimentConfig(incremental_verify=incremental_verify)
+            spec = SessionSpec(incremental_verify=incremental_verify,
+                               enable_cache=False)
+            result = run_sweep(benchmarks, config, workers=2, session_spec=spec)
+            records[incremental_verify] = result.records
+        for portfolio, warm in zip(records[False], records[True]):
+            assert portfolio.benchmark == warm.benchmark
+            assert portfolio.outcome == warm.outcome
+            assert portfolio.dsps == warm.dsps
+            assert portfolio.luts == warm.luts
+            assert warm.incremental_verify and not portfolio.incremental_verify
+
+
+class TestIncrementalVerify:
+    def _interval_instance(self, width=10):
+        x, k, m = bvvar("x", width), bvvar("k", width), bvvar("m", width)
+        obligation = Obligation(
+            bvand(bvult(x, bv(700, width)), bvult(bv(300, width), x)),
+            bvand(bvult(x, k), bvult(m, x)))
+        return [obligation], {"k": width, "m": width}
+
+    def test_verify_session_checks_candidates_by_assumption(self):
+        from repro.smt.equivalence import IncrementalVerifySession
+
+        width = 8
+        x, k = bvvar("x", width), bvvar("k", width)
+        obligations = [Obligation(bvult(x, bv(100, width)), bvult(x, k))]
+        session = IncrementalVerifySession(obligations, {"k": width},
+                                           {"x": width})
+        correct = session.check_obligation(0, {"k": 100})
+        assert correct.is_unsat  # no counterexample: the candidate is right
+        wrong = session.check_obligation(0, {"k": 90})
+        assert wrong.is_sat
+        # Canonical counterexample: the smallest x with x < 100 but not x < 90.
+        assert wrong.model["x"] == 90
+        # The context was built once; checking added no clauses.
+        assert session.checks == 2
+
+    def test_verify_session_counterexamples_are_canonical(self):
+        from repro.smt.equivalence import IncrementalVerifySession
+
+        width = 8
+        x, k = bvvar("x", width), bvvar("k", width)
+        obligations = [Obligation(bvult(x, bv(100, width)), bvult(x, k))]
+        session = IncrementalVerifySession(obligations, {"k": width},
+                                           {"x": width})
+        for candidate, expected in ((120, 100), (90, 90), (0, 0)):
+            result = session.check_obligation(0, {"k": candidate})
+            assert result.is_sat
+            assert result.model["x"] == expected
+        session.restart()
+        assert session.check_obligation(0, {"k": 120}).model["x"] == 100
+        assert session.restarts == 1
+
+    def test_failure_core_prefix_blocks_the_candidate(self):
+        from repro.smt.equivalence import IncrementalVerifySession
+
+        width = 8
+        x, k = bvvar("x", width), bvvar("k", width)
+        obligations = [Obligation(bvult(x, bv(100, width)), bvult(x, k))]
+        session = IncrementalVerifySession(obligations, {"k": width},
+                                           {"x": width})
+        wrong = session.check_obligation(0, {"k": 90})
+        counterexample = {"x": wrong.model["x"]}
+        prefix = session.failure_core(0, {"k": 90}, counterexample)
+        assert prefix, "a failing candidate must yield a non-trivial core"
+        # Every (hole, bit, value) entry matches the refuted candidate.
+        for name, bit, value in prefix:
+            assert name == "k"
+            assert (90 >> bit) & 1 == value
+
+    def test_verify_stats_reported(self):
+        obligations, holes = self._interval_instance()
+        warm = synthesize(obligations, holes, incremental_verify=True,
+                          solver=SmtSolver(seed=0), random_probes=0,
+                          initial_random_examples=0)
+        assert warm.succeeded and warm.iterations >= 4
+        assert warm.incremental_verify
+        assert warm.verify_time_seconds > 0
+        assert warm.cores_pruned >= 1  # failures produced pruning cores
+        scratch = synthesize(obligations, holes, incremental_verify=False,
+                             solver=SmtSolver(seed=0), random_probes=0,
+                             initial_random_examples=0)
+        assert not scratch.incremental_verify
+        assert scratch.cores_pruned == 0
+        assert scratch.verify_clauses_retained == 0
+
+    def test_mapping_session_incremental_verify_knob(self, mul8_verilog):
+        results = {}
+        for incremental_verify in (False, True):
+            with MappingSession(enable_cache=False,
+                                incremental_verify=incremental_verify) as session:
+                results[incremental_verify] = session.map_verilog(
+                    mul8_verilog, template="dsp", arch="intel-cyclone10lp",
+                    timeout_seconds=60)
+        assert results[False].status == results[True].status == "success"
+        assert results[False].hole_values == results[True].hole_values
+        assert results[True].synthesis.incremental_verify
+        assert not results[False].synthesis.incremental_verify
+
+    def test_budget_flows_into_incremental_verify(self):
+        obligations, holes = self._interval_instance()
+        budget = Budget(timeout_seconds=0.0).start()
+        result = synthesize(obligations, holes, budget=budget,
+                            incremental_verify=True, random_probes=0,
+                            initial_random_examples=0)
+        assert result.status == "unknown"
+
+    def test_const_true_miter_reports_zero_counterexample(self):
+        from repro.smt.equivalence import check_equivalence
+
+        # bveq(a, a) folds to constant 1, so the miter against constant 0
+        # normalises to constant true: different on *every* assignment.
+        # The result must still carry a usable (all-zeros) counterexample —
+        # a None here used to crash the CEGIS loop's counterexample
+        # extraction.
+        a = bvvar("a", 4)
+        result = check_equivalence(bveq(a, a), bv(0, 1))
+        assert result.is_different
+        assert result.strategy == "normalise"
+        assert result.counterexample is not None
+        assert result.counterexample.get("a", 0) == 0
+
+
+class TestCoreSoundness:
+    """Every core the incremental layers emit must be genuinely unsat when
+    re-solved from scratch — a wrong core silently breaks pruning
+    completeness (the blocking constraint would cut off live candidates)."""
+
+    @staticmethod
+    def _assert_core_unsat_from_scratch(cnf, core, context_label):
+        from repro.sat.dpll import DPLLSolver
+
+        fresh = CNF(num_vars=cnf.num_vars,
+                    clauses=[list(c) for c in cnf.clauses]
+                            + [[lit] for lit in core])
+        assert CDCLSolver(fresh).solve().is_unsat, context_label
+        # DPLL is an independent engine: a CDCL bug cannot vouch for itself.
+        assert DPLLSolver(fresh).solve().is_unsat, context_label
+
+    def test_verification_cores_are_genuinely_unsat(self, monkeypatch):
+        import repro.smt.cegis as cegis_mod
+        from repro.smt.equivalence import IncrementalVerifySession
+
+        audits = []
+
+        class AuditedSession(IncrementalVerifySession):
+            def check_obligation(self, index, hole_values, deadline=None):
+                result = IncrementalVerifySession.check_obligation(
+                    self, index, hole_values, deadline)
+                if result.is_unsat and self._solver.last_core is not None:
+                    audits.append((self.context.cnf,
+                                   list(self._solver.last_core)))
+                return result
+
+            def failure_core(self, index, hole_values, counterexample,
+                             deadline=None):
+                prefix = IncrementalVerifySession.failure_core(
+                    self, index, hole_values, counterexample, deadline)
+                if prefix is not None and self._solver.last_core is not None:
+                    audits.append((self.context.cnf,
+                                   list(self._solver.last_core)))
+                return prefix
+
+        monkeypatch.setattr(cegis_mod, "IncrementalVerifySession",
+                            AuditedSession)
+        width = 10
+        x, k, m = bvvar("x", width), bvvar("k", width), bvvar("m", width)
+        obligation = Obligation(
+            bvand(bvult(x, bv(700, width)), bvult(bv(300, width), x)),
+            bvand(bvult(x, k), bvult(m, x)))
+        result = synthesize([obligation], {"k": width, "m": width},
+                            incremental_verify=True,
+                            solver=SmtSolver(seed=0, random_probes=0),
+                            random_probes=0, initial_random_examples=0)
+        assert result.succeeded
+        # Both the final equivalence proof and every failure core audit.
+        assert len(audits) >= result.cores_pruned >= 1
+        for cnf, core in audits:
+            self._assert_core_unsat_from_scratch(cnf, core, "verification core")
+
+    def test_candidate_session_cores_are_genuinely_unsat(self):
+        rng = random.Random(41)
+        audited = 0
+        for _ in range(12):
+            width = rng.randint(3, 6)
+            hole = bvvar("h", width)
+            session = IncrementalSmtSession()
+            session.assert_constraints([
+                bvult(hole, bv(rng.randint(2, (1 << width) - 1), width)),
+                bvne(hole, bv(rng.randrange(1 << width), width)),
+            ])
+            check = session.check()
+            solver = session._solver
+            assert solver is not None
+            bit_vars = list(session.context.input_vars().values())
+            for _ in range(8):
+                assumptions = [var if rng.random() < 0.5 else -var
+                               for var in rng.sample(bit_vars,
+                                                     rng.randint(1, len(bit_vars)))]
+                outcome = solver.solve(assumptions)
+                if not outcome.is_unsat:
+                    continue
+                core = solver.last_core
+                assert core is not None
+                assert set(core) <= set(assumptions)
+                self._assert_core_unsat_from_scratch(
+                    session.context.cnf, core, "candidate-session core")
+                audited += 1
+        assert audited > 0  # the sample must actually exercise the path

@@ -24,15 +24,10 @@ from repro.sat.portfolio import ProcessPortfolio, SatPortfolio, make_portfolio
 from repro.sat.solver import SatResult
 from repro.workloads import sample_workloads
 
+from _fixtures import AND4, small_workloads as _fast_benchmarks
+
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 needs_fork = pytest.mark.skipif(not HAS_FORK, reason="requires the fork start method")
-
-AND4 = ("module f(input [3:0] a, b, output [3:0] out);"
-        " assign out = a & b; endmodule")
-
-
-def _fast_benchmarks(count=4):
-    return sample_workloads("intel-cyclone10lp", count, seed=0, max_width=8)
 
 
 def _comparable(record: MappingRecord) -> dict:
