@@ -136,7 +136,8 @@ def build_cache_parser() -> argparse.ArgumentParser:
         description="Inspect and manage a persistent synthesis cache "
                     "directory (see --cache-dir on map/sweep).")
     parser.add_argument("action", choices=("stats", "prune", "clear"),
-                        help="stats: entry count and on-disk size; prune: "
+                        help="stats: entry count, on-disk size and lifetime "
+                             "hit rate; prune: "
                              "LRU-trim by --max-entries/--max-age-days; "
                              "clear: drop every entry")
     parser.add_argument("--cache-dir", required=True,
@@ -206,6 +207,12 @@ def _main_map(argv) -> int:
                   f"learned clauses retained, {synthesis.cores_pruned} "
                   f"pruning core(s), {synthesis.verify_time_seconds:.2f}s "
                   "in verification", file=sys.stderr)
+        if result.synthesis is not None and (result.synthesis.incremental
+                                             or result.synthesis.incremental_verify):
+            synthesis = result.synthesis
+            print(f"clause DB: peak {synthesis.db_size_peak} learned "
+                  f"clause(s), {synthesis.clauses_deleted} deleted by "
+                  "reduction", file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)
@@ -288,6 +295,10 @@ def _main_sweep(argv) -> int:
         print(f"incremental verify: {result.verify_clauses_retained} learned "
               f"clauses retained, {result.cores_pruned} pruning core(s)",
               file=sys.stderr)
+    if args.incremental or args.incremental_verify:
+        print(f"clause DB: peak {result.db_size_peak} learned clause(s), "
+              f"{result.clauses_deleted} deleted by reduction",
+              file=sys.stderr)
 
     if args.jsonl:
         records_to_jsonl(result.records, args.jsonl)
@@ -308,6 +319,8 @@ def _main_sweep(argv) -> int:
             "incremental_verify": args.incremental_verify,
             "verify_clauses_retained": result.verify_clauses_retained,
             "cores_pruned": result.cores_pruned,
+            "clauses_deleted": result.clauses_deleted,
+            "db_size_peak": result.db_size_peak,
         }
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were
@@ -358,6 +371,12 @@ def _main_cache(argv) -> int:
             size = cache.size_bytes()
             print(f"entries: {entries}")
             print(f"size: {size} bytes ({size / 1e6:.2f} MB)")
+            lifetime = cache.lifetime_stats()
+            hits = lifetime["lifetime_hits"]
+            misses = lifetime["lifetime_misses"]
+            total = hits + misses
+            rate = f" ({hits / total:.0%} hit rate)" if total else ""
+            print(f"lifetime: {hits} hits, {misses} misses{rate}")
             return 0
         if args.action == "prune":
             max_age = args.max_age_days * 86400.0 \

@@ -60,6 +60,10 @@ class SynthesisOutcome:
     clauses_retained: int = 0
     verify_clauses_retained: int = 0
     cores_pruned: int = 0
+    #: Clause-DB reduction telemetry from the persistent sessions: learned
+    #: clauses deleted, and the learned-database high-water mark.
+    clauses_deleted: int = 0
+    db_size_peak: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -142,6 +146,8 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         clauses_retained=cegis.clauses_retained,
         verify_clauses_retained=cegis.verify_clauses_retained,
         cores_pruned=cegis.cores_pruned,
+        clauses_deleted=cegis.clauses_deleted,
+        db_size_peak=cegis.db_size_peak,
     )
     if not cegis.succeeded:
         return outcome

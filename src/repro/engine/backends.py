@@ -131,8 +131,9 @@ def cdcl_config(**options) -> Callable[..., SatResult]:
 
     ``options`` are :class:`~repro.sat.solver.CDCLSolver` keyword knobs
     (``var_decay``, ``default_phase``, ``phase_saving``, ``branching``,
-    ``restart_policy``, ``restart_base``) — the levers that make portfolio
-    members behave genuinely differently on the same formula.
+    ``restart_policy``, ``restart_base``, ``reduce_interval``,
+    ``max_lbd_keep``) — the levers that make portfolio members behave
+    genuinely differently on the same formula.
     """
     def run(cnf: CNF, deadline: Optional[float], assumptions: Sequence[int],
             should_stop: Optional[Callable[[], bool]] = None) -> SatResult:
@@ -160,15 +161,18 @@ register_backend(SolverBackend(
     description="iterative DPLL with unit propagation and pure literals",
     stagger=60.0))
 register_backend(SolverBackend(
-    "cdcl-agile", cdcl_config(restart_base=8, var_decay=0.85),
-    description="CDCL with rapid Luby restarts and fast activity decay "
-                "(recovers quickly from bad early decisions)",
+    "cdcl-agile", cdcl_config(restart_base=8, var_decay=0.85,
+                              reduce_interval=1000, max_lbd_keep=2),
+    description="CDCL with rapid Luby restarts, fast activity decay and "
+                "aggressive clause-DB reduction (recovers quickly from "
+                "bad early decisions, keeps propagation lean)",
     stagger=60.0))
 register_backend(SolverBackend(
     "cdcl-stable", cdcl_config(restart_policy="geometric", restart_base=128,
-                               default_phase=True),
-    description="CDCL with long geometric restarts and positive phase "
-                "init (commits to deep searches, favours sat answers)",
+                               default_phase=True, reduce_interval=4000),
+    description="CDCL with long geometric restarts, positive phase init "
+                "and a patient clause database (commits to deep searches, "
+                "favours sat answers)",
     stagger=60.0))
 register_backend(SolverBackend(
     "cdcl-static", cdcl_config(branching="static", phase_saving=False),

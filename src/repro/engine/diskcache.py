@@ -18,7 +18,10 @@ full synthesis cost for workloads every other process has already solved.
   ``*.corrupt``) and replaced with a fresh one — a damaged cache must never
   take the tool down;
 * **concurrency**: WAL journaling plus a busy timeout make concurrent
-  readers/writers from sharded sweep workers safe.
+  readers/writers from sharded sweep workers safe;
+* **lifetime statistics**: per-run hit/miss counts are folded into the meta
+  table on write/close, so ``lakeroad cache stats`` reports hit rates over
+  the database's whole life, not just one process.
 
 :class:`TieredSynthesisCache` layers the disk cache *under* the in-memory
 LRU as a read-through/write-through tier: gets fall through memory to disk
@@ -129,6 +132,13 @@ class DiskSynthesisCache:
         self.misses = 0
         self.errors = 0
         self.evictions = 0
+        #: Hit/miss counts not yet folded into the database's lifetime
+        #: counters (meta keys ``lifetime_hits``/``lifetime_misses``);
+        #: flushed on the next write operation or on close, so
+        #: ``lakeroad cache stats`` can report hit rates across every run
+        #: that ever used the cache, not just the current process.
+        self._unflushed_hits = 0
+        self._unflushed_misses = 0
         #: Recency updates buffered by ``get`` (key -> last-use time) and
         #: flushed on the next write operation (put/prune/close): hits stay
         #: pure reads instead of each taking sqlite's single-writer lock.
@@ -166,6 +176,11 @@ class DiskSynthesisCache:
                 # even have different columns); start empty rather than
                 # deserializing stale shapes.
                 connection.execute("DROP TABLE IF EXISTS entries")
+                # Lifetime hit/miss counters describe the dropped entry
+                # set; reset them alongside it.
+                connection.execute(
+                    "DELETE FROM meta WHERE key IN "
+                    "('lifetime_hits', 'lifetime_misses')")
                 connection.execute(
                     "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)))
@@ -225,6 +240,7 @@ class DiskSynthesisCache:
         with self._lock:
             if self._connection is None:
                 self.misses += 1
+                self._unflushed_misses += 1
                 return None
             try:
                 row = self._connection.execute(
@@ -232,9 +248,11 @@ class DiskSynthesisCache:
             except sqlite3.Error:
                 self.errors += 1
                 self.misses += 1
+                self._unflushed_misses += 1
                 return None
             if row is None:
                 self.misses += 1
+                self._unflushed_misses += 1
                 return None
             try:
                 value = pickle.loads(row[0])
@@ -243,6 +261,7 @@ class DiskSynthesisCache:
                 # run recomputes and overwrites.
                 self.errors += 1
                 self.misses += 1
+                self._unflushed_misses += 1
                 try:
                     self._connection.execute(
                         "DELETE FROM entries WHERE key = ?", (text_key,))
@@ -253,10 +272,12 @@ class DiskSynthesisCache:
                 return None
             self._dirty_recency[text_key] = time.time()
             self.hits += 1
+            self._unflushed_hits += 1
             return value
 
     def _flush_recency(self) -> None:
         """Persist buffered last-use times (called with the lock held)."""
+        self._flush_lifetime()
         if not self._dirty_recency or self._connection is None:
             return
         updates = [(used_at, key)
@@ -268,6 +289,54 @@ class DiskSynthesisCache:
             self._connection.commit()
         except sqlite3.Error:
             pass  # recency is best-effort; worst case the LRU order coarsens
+
+    def _flush_lifetime(self) -> None:
+        """Fold this run's hit/miss counts into the database's lifetime
+        counters (called with the lock held).  Best-effort, like recency:
+        a failed flush costs statistics, never correctness."""
+        if (not self._unflushed_hits and not self._unflushed_misses) \
+                or self._connection is None:
+            return
+        updates = [("lifetime_hits", self._unflushed_hits),
+                   ("lifetime_misses", self._unflushed_misses)]
+        self._unflushed_hits = 0
+        self._unflushed_misses = 0
+        try:
+            for key, delta in updates:
+                if delta:
+                    self._connection.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?) "
+                        "ON CONFLICT(key) DO UPDATE SET "
+                        "value = CAST(CAST(value AS INTEGER) + CAST(excluded.value AS INTEGER) AS TEXT)",
+                        (key, str(delta)))
+            self._connection.commit()
+        except sqlite3.Error:
+            pass
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Cumulative hit/miss counters over every run that used this
+        database (persisted in the meta table), including this instance's
+        not-yet-flushed counts."""
+        with self._lock:
+            # Snapshot the unflushed counts under the lock: a concurrent
+            # flush zeroes them after folding them into the meta table, and
+            # an outside-the-lock snapshot would count those twice.
+            totals = {"lifetime_hits": self._unflushed_hits,
+                      "lifetime_misses": self._unflushed_misses}
+            if self._connection is None:
+                return totals
+            try:
+                rows = self._connection.execute(
+                    "SELECT key, value FROM meta WHERE key IN "
+                    "('lifetime_hits', 'lifetime_misses')").fetchall()
+            except sqlite3.Error:
+                return totals
+        for key, value in rows:
+            try:
+                totals[key] += int(value)
+            except (TypeError, ValueError):
+                pass
+        return totals
 
     def put(self, key: Hashable, value: Any) -> None:
         text_key = canonical_key(key)
@@ -371,10 +440,15 @@ class DiskSynthesisCache:
             self.errors = 0
             self._entry_estimate = 0
             self._dirty_recency.clear()
+            self._unflushed_hits = 0
+            self._unflushed_misses = 0
             if self._connection is None:
                 return
             try:
                 self._connection.execute("DELETE FROM entries")
+                self._connection.execute(
+                    "DELETE FROM meta WHERE key IN "
+                    "('lifetime_hits', 'lifetime_misses')")
                 self._connection.commit()
             except sqlite3.Error:
                 self.errors += 1
@@ -447,6 +521,11 @@ class TieredSynthesisCache:
         """Trim the disk tier; the in-memory LRU is already size-capped."""
         return self.disk.prune(max_entries=max_entries,
                                max_age_seconds=max_age_seconds)
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """The disk tier's cross-run hit/miss counters (memory-tier hits
+        are per-process by nature and not persisted)."""
+        return self.disk.lifetime_stats()
 
     def close(self) -> None:
         self.disk.close()

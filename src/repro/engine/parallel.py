@@ -128,6 +128,20 @@ class SweepResult:
         return sum(record.cores_pruned for record in self.records
                    if not record.cache_hit)
 
+    @property
+    def clauses_deleted(self) -> int:
+        """Learned clauses dropped by clause-DB reduction, summed over the
+        records that actually ran synthesis this run."""
+        return sum(record.clauses_deleted for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def db_size_peak(self) -> int:
+        """Largest learned database any record's persistent sessions
+        carried this run (the sweep's solver-memory high-water mark)."""
+        return max((record.db_size_peak for record in self.records
+                    if not record.cache_hit), default=0)
+
     def outcome_counts(self) -> Dict[str, int]:
         counts: Counter = Counter(record.outcome for record in self.records)
         return dict(counts)
@@ -173,6 +187,16 @@ def run_sweep(benchmarks: Sequence[Microbenchmark],
     widths (and therefore synthesis costs) trend upward through enumeration
     order, so interleaving balances the shards — and the merged records are
     returned in input order.
+
+    The returned :class:`SweepResult` aggregates per-record solver
+    telemetry over the designs that actually ran synthesis this run
+    (cache hits replay archived counters and are excluded): learned
+    clauses retained/deleted, budget-aware restarts, pruning cores, and
+    ``db_size_peak`` — the learned-database high-water mark that the
+    solver's LBD clause reduction keeps bounded on long sweeps.  On paper
+    scale enumerations this is the number to watch: without reduction the
+    persistent sessions' watch lists grow monotonically with every CEGIS
+    iteration a sweep survives.
     """
     config = config or ExperimentConfig()
     benchmarks = list(benchmarks)

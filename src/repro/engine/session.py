@@ -135,7 +135,14 @@ class MappingSession:
     ``incremental`` and ``incremental_verify`` select the persistent-solver
     CEGIS candidate and verification paths respectively (clause reuse
     across iterations; identical results either way — see
-    :func:`repro.smt.cegis.synthesize`).
+    :func:`repro.smt.cegis.synthesize`).  The persistent sessions keep
+    their learned databases bounded with LBD-based clause reduction (the
+    :class:`~repro.sat.solver.CDCLSolver` ``reduce_interval`` /
+    ``max_lbd_keep`` defaults); each mapping's reduction telemetry —
+    ``clauses_deleted`` and the ``db_size_peak`` memory high-water mark —
+    rides on :class:`~repro.core.synthesis.SynthesisOutcome` and
+    :class:`~repro.harness.runner.MappingRecord`, and ``lakeroad map/sweep
+    --stats`` prints it.
     """
 
     def __init__(self,

@@ -100,6 +100,10 @@ class MappingRecord:
     incremental_verify: bool = False
     verify_clauses_retained: int = 0
     cores_pruned: int = 0
+    #: Clause-DB reduction telemetry from the persistent solver sessions
+    #: (zero when neither incremental mode ran).
+    clauses_deleted: int = 0
+    db_size_peak: int = 0
 
     @property
     def mapped(self) -> bool:
@@ -179,6 +183,8 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         incremental_verify=synthesis.incremental_verify if synthesis else False,
         verify_clauses_retained=synthesis.verify_clauses_retained if synthesis else 0,
         cores_pruned=synthesis.cores_pruned if synthesis else 0,
+        clauses_deleted=synthesis.clauses_deleted if synthesis else 0,
+        db_size_peak=synthesis.db_size_peak if synthesis else 0,
     )
 
 

@@ -9,6 +9,16 @@ standard modern architecture:
   backjumping,
 * exponential VSIDS activity-based branching with phase saving,
 * Luby-sequence (or geometric) restarts,
+* glucose-style learned-clause database reduction: every learned clause is
+  stamped with its literal-block distance (LBD — the number of distinct
+  decision levels among its literals) at learning time, and once
+  ``reduce_interval`` new clauses have been learned the worst half of the
+  deletable learned database is dropped (highest LBD first).  Glue clauses
+  (LBD ≤ ``max_lbd_keep``), clauses currently acting as the reason for an
+  assigned literal, and level-0 units are never deleted, so propagation
+  stays sound and ``last_core`` extraction keeps working mid-search.
+  Learned clauses are redundant (entailed by the problem clauses), so
+  deletion can only change the search trajectory, never an answer,
 * deadline support so callers can impose per-query timeouts (the paper's
   120 s / 40 s / 20 s per-architecture synthesis budgets).
 
@@ -178,11 +188,17 @@ class CDCLSolver:
                  phase_saving: bool = True,
                  branching: str = "vsids",
                  restart_policy: str = "luby",
-                 restart_base: int = 32) -> None:
+                 restart_base: int = 32,
+                 reduce_interval: int = 2000,
+                 max_lbd_keep: int = 3) -> None:
         if branching not in ("vsids", "static"):
             raise ValueError(f"unknown branching heuristic {branching!r}")
         if restart_policy not in ("luby", "geometric"):
             raise ValueError(f"unknown restart policy {restart_policy!r}")
+        if reduce_interval < 0:
+            raise ValueError("reduce_interval must be >= 0 (0 disables reduction)")
+        if max_lbd_keep < 0:
+            raise ValueError("max_lbd_keep must be >= 0")
         self.cnf = cnf
         self.deadline = deadline
         #: Optional cancellation hook: the portfolio race sets this so losing
@@ -196,9 +212,14 @@ class CDCLSolver:
         self.branching = branching
         self.restart_policy = restart_policy
         self.restart_base = restart_base
+        #: Learned clauses between database reductions; 0 disables reduction.
+        self.reduce_interval = reduce_interval
+        #: Glue threshold: learned clauses with LBD <= this are never deleted.
+        self.max_lbd_keep = max_lbd_keep
 
-        # Clause database: list of clauses (lists of literals).
-        self.clauses: List[List[int]] = []
+        # Clause database: list of clauses (lists of literals); reduction
+        # replaces deleted learned clauses with None tombstones.
+        self.clauses: List[Optional[List[int]]] = []
         # Watches: literal -> clause indices watching it.
         self.watches: Dict[int, List[int]] = {}
         # Assignment: var -> bool, plus trail bookkeeping.
@@ -226,6 +247,19 @@ class CDCLSolver:
         self.learned_count = 0
         self.total_conflicts = 0
         self.solve_calls = 0
+        # Learned-clause database: clause index -> current LBD, in learning
+        # order.  Deleted clauses leave a None tombstone in ``self.clauses``
+        # so every surviving index stays valid.
+        self._learned: Dict[int, int] = {}
+        self._learned_since_reduce = 0
+        #: Learned clauses deleted by database reductions (cumulative).
+        self.clauses_deleted = 0
+        #: Most learned clauses simultaneously alive over the solver's life.
+        self.db_size_peak = 0
+        #: Learned clauses alive right after the most recent reduction.
+        self.db_size_floor = 0
+        #: Database reductions performed (cumulative).
+        self.reductions = 0
         #: After an unsat answer under assumptions: the subset of assumption
         #: literals whose conjunction is inconsistent with the clauses.
         self.last_core: Optional[List[int]] = None
@@ -298,6 +332,47 @@ class CDCLSolver:
         self.watches.setdefault(clause[0], []).append(index)
         self.watches.setdefault(clause[1], []).append(index)
         return True
+
+    @property
+    def learned_alive(self) -> int:
+        """Learned clauses currently in the database (watch lists)."""
+        return len(self._learned)
+
+    def _clause_lbd(self, clause: Sequence[int]) -> int:
+        levels = self.level
+        return len({levels.get(abs(lit), 0) for lit in clause})
+
+    def _reduce_db(self) -> None:
+        """Delete the worst half of the deletable learned clauses.
+
+        "Worst" is highest LBD first, larger clauses first among equal LBD,
+        oldest first among equal size — a deterministic order.  Protected
+        (and therefore never deletable): glue clauses (LBD <=
+        ``max_lbd_keep``) and locked clauses (the current reason of an
+        assigned literal; deleting one would orphan conflict analysis and
+        ``last_core`` extraction).  Level-0 units never enter the learned
+        database in the first place — they are enqueued directly.
+        """
+        self._learned_since_reduce = 0
+        locked = {index for index in self.reason.values() if index is not None}
+        candidates = [(lbd, index) for index, lbd in self._learned.items()
+                      if lbd > self.max_lbd_keep and index not in locked]
+        if candidates:
+            candidates.sort(key=lambda item: (-item[0],
+                                              -len(self.clauses[item[1]]),
+                                              item[1]))
+            clauses = self.clauses
+            watches = self.watches
+            for _, index in candidates[:len(candidates) // 2]:
+                clause = clauses[index]
+                # The two watched literals are always in positions 0 and 1.
+                watches[clause[0]].remove(index)
+                watches[clause[1]].remove(index)
+                clauses[index] = None
+                del self._learned[index]
+                self.clauses_deleted += 1
+        self.reductions += 1
+        self.db_size_floor = len(self._learned)
 
     # ------------------------------------------------------------------ #
     # Assignment / trail
@@ -446,6 +521,14 @@ class CDCLSolver:
                 break
             reason_index = self.reason[abs(lit)]
             clause = list(self.clauses[reason_index]) if reason_index is not None else []
+            if reason_index in self._learned:
+                # Glucose's dynamic LBD: a learned clause used in conflict
+                # analysis gets its LBD refreshed (it can only tighten as
+                # the search settles), promoting useful clauses toward the
+                # protected glue tier.
+                lbd = self._clause_lbd(clause)
+                if lbd < self._learned[reason_index]:
+                    self._learned[reason_index] = lbd
         learnt.insert(0, -lit)
 
         if len(learnt) == 1:
@@ -548,6 +631,28 @@ class CDCLSolver:
     # Main loop
     # ------------------------------------------------------------------ #
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Decide the clause database under optional assumption literals.
+
+        Repeated calls are incremental: learned clauses, variable
+        activities and saved phases survive from call to call, and a
+        matching assumption prefix reuses the existing trail instead of
+        re-propagating it.  ``unsat`` under assumptions leaves the guilty
+        assumption subset in :attr:`last_core`; ``unknown`` means the
+        ``deadline`` expired or ``should_stop`` fired.
+
+        The learned database is kept bounded by LBD-based reduction: every
+        ``reduce_interval`` learned clauses, the worst half of the
+        deletable clauses (highest LBD first) is deleted, protecting glue
+        clauses (LBD ≤ ``max_lbd_keep``), reason clauses of currently
+        assigned literals, and level-0 units.  ``reduce_interval=0``
+        disables reduction (the pre-reduction unbounded behavior).
+        Reduction never changes an answer — learned clauses are entailed —
+        and composes with every incremental feature: post-reduce
+        :meth:`add_clause`, assumption solves and :attr:`last_core` behave
+        exactly as they would on an unreduced database.  Cumulative
+        telemetry lives in :attr:`clauses_deleted`, :attr:`db_size_peak`,
+        :attr:`db_size_floor` and :attr:`reductions`.
+        """
         start = time.monotonic()
         self.solve_calls += 1
         self.last_core = None
@@ -652,6 +757,7 @@ class CDCLSolver:
                     self.total_conflicts += self.stats.conflicts
                     return self.stats
                 learnt, backjump_level = self._analyze(conflict)
+                lbd = self._clause_lbd(learnt)
                 backjump_level = max(backjump_level, assumption_level)
                 self._cancel_until(backjump_level)
                 self.learned_count += 1
@@ -663,6 +769,14 @@ class CDCLSolver:
                     self.watches.setdefault(learnt[0], []).append(index)
                     self.watches.setdefault(learnt[1], []).append(index)
                     self._enqueue(learnt[0], index)
+                    self._learned[index] = lbd
+                    alive = len(self._learned)
+                    if alive > self.db_size_peak:
+                        self.db_size_peak = alive
+                    self._learned_since_reduce += 1
+                    if self.reduce_interval and \
+                            self._learned_since_reduce >= self.reduce_interval:
+                        self._reduce_db()
                 self._decay_activity()
                 continue
 

@@ -142,6 +142,13 @@ class CegisResult:
     #: Verification-failure unsat cores turned into candidate-space
     #: blocking constraints (0 when ``incremental_verify`` is off).
     cores_pruned: int = 0
+    #: Learned clauses deleted by clause-DB reduction across every solver
+    #: session the run built (persistent candidate/verify sessions and
+    #: from-scratch throwaway candidate sessions alike).
+    clauses_deleted: int = 0
+    #: Largest learned database any of the run's solvers carried (the
+    #: memory high-water mark reduction bounds).
+    db_size_peak: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -234,7 +241,9 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
                      deadline: Optional[float],
                      session: Optional[IncrementalSmtSession],
                      budget: Optional[Budget],
-                     result: "CegisResult") -> Tuple[Optional[Mapping[str, int]], str, str]:
+                     result: "CegisResult",
+                     reduce_interval: Optional[int] = None,
+                     max_lbd_keep: Optional[int] = None) -> Tuple[Optional[Mapping[str, int]], str, str]:
     """Decide the candidate query; returns ``(model, status, strategy)``.
 
     The layering mirrors :class:`~repro.smt.solver.SmtSolver` — normalise,
@@ -278,7 +287,10 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
 
     incremental = session is not None
     if not incremental:
-        session = IncrementalSmtSession()
+        # Throwaway sessions honour the same reduction knobs as persistent
+        # ones, so aggressive settings exercise every mode combination.
+        session = IncrementalSmtSession(reduce_interval=reduce_interval,
+                                        max_lbd_keep=max_lbd_keep)
         session.assert_constraints(sat_constraints)
 
     check_deadline = deadline
@@ -298,6 +310,12 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
         smt_result = session.check(deadline=deadline)
 
     result.candidate_conflicts += smt_result.sat_conflicts
+    if not incremental:
+        # The throwaway session dies here; fold its clause-DB telemetry in
+        # now (the persistent sessions are folded once, at the end of the
+        # run), so from-scratch candidate work is counted too.
+        result.clauses_deleted += session.clauses_deleted
+        result.db_size_peak = max(result.db_size_peak, session.db_size_peak)
     strategy = "sat:incremental" if incremental else "sat:fresh"
     if smt_result.is_unknown:
         return None, "unknown", "timeout"
@@ -341,7 +359,9 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                budget: Optional[Budget] = None,
                incremental: bool = False,
                incremental_verify: bool = False,
-               random_probes: int = 32) -> CegisResult:
+               random_probes: int = 32,
+               reduce_interval: Optional[int] = None,
+               max_lbd_keep: Optional[int] = None) -> CegisResult:
     """Solve ``∃ holes . ∀ inputs . ⋀ spec_i = sketch_i`` by CEGIS.
 
     Args:
@@ -368,6 +388,16 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
             hole values, counterexample sequences and iteration counts are
             identical either way by construction.
         random_probes: candidate-step random probe attempts per iteration.
+        reduce_interval: learned clauses between clause-DB reductions in
+            the CEGIS solver sessions (None defers to the
+            :class:`~repro.sat.solver.CDCLSolver` default; 0 disables
+            reduction).  Reduction bounds solver memory on long runs and
+            never changes statuses, hole values or iteration counts — the
+            differential-fuzz suite runs aggressive settings across all
+            four mode combinations to hold it to that.
+        max_lbd_keep: glue threshold — learned clauses with LBD at or
+            below this survive every reduction (None defers to the solver
+            default).
     """
     start = time.monotonic()
     if budget is not None:
@@ -389,7 +419,8 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
     session: Optional[IncrementalSmtSession] = None
     asserted: List[BVExpr] = []
     if incremental:
-        session = IncrementalSmtSession()
+        session = IncrementalSmtSession(reduce_interval=reduce_interval,
+                                        max_lbd_keep=max_lbd_keep)
         session.assert_constraints(constraints_base)
         asserted.extend(constraints_base)
 
@@ -421,7 +452,9 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         # Blast the sketch cone and spec miters exactly once per run; every
         # iteration's verify query is an assumption solve against this.
         verify_session = IncrementalVerifySession(obligations, hole_widths,
-                                                  input_widths)
+                                                  input_widths,
+                                                  reduce_interval=reduce_interval,
+                                                  max_lbd_keep=max_lbd_keep)
         _note_holes(constraints_base)
         for example in examples:
             constraints = _example_constraints(obligations, input_widths,
@@ -474,7 +507,8 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
 
         model, status, strategy = _solve_candidate(
             candidate_constraints, sat_constraints, iteration, seed,
-            random_probes, deadline, session, budget, result)
+            random_probes, deadline, session, budget, result,
+            reduce_interval, max_lbd_keep)
         result.candidate_strategy = strategy
         result.candidate_time_seconds += time.monotonic() - candidate_start
         if status == "unsat":
@@ -565,8 +599,13 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
     if session is not None:
         result.solver_restarts += session.restarts
         result.clauses_retained = session.clauses_retained
+        result.clauses_deleted += session.clauses_deleted
+        result.db_size_peak = max(result.db_size_peak, session.db_size_peak)
     if verify_session is not None:
         result.solver_restarts += verify_session.restarts
         result.verify_clauses_retained = verify_session.clauses_retained
+        result.clauses_deleted += verify_session.clauses_deleted
+        result.db_size_peak = max(result.db_size_peak,
+                                  verify_session.db_size_peak)
     result.time_seconds = time.monotonic() - start
     return result

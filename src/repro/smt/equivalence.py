@@ -95,10 +95,19 @@ class IncrementalVerifySession(WarmSolverHost):
     ``last_core`` then names the subset of hole bits actually responsible —
     every candidate extending that prefix fails on the same counterexample,
     so one blocking constraint over the prefix prunes them all.
+
+    ``reduce_interval`` / ``max_lbd_keep`` configure the warm solver's
+    LBD-based clause-database reduction (None defers to the
+    :class:`~repro.sat.solver.CDCLSolver` defaults), which keeps the
+    learned database — and with it watch-list length and propagation cost —
+    bounded over long runs; assumption gating, counterexample canonicity
+    and :meth:`failure_core` are unaffected by when reductions happen.
     """
 
     def __init__(self, obligations: Sequence, hole_widths: Mapping[str, int],
-                 input_widths: Optional[Mapping[str, int]] = None) -> None:
+                 input_widths: Optional[Mapping[str, int]] = None,
+                 reduce_interval: Optional[int] = None,
+                 max_lbd_keep: Optional[int] = None) -> None:
         self.context = IncrementalContext()
         self.hole_widths: Dict[str, int] = dict(hole_widths)
         self._miter_lits: List[int] = []
@@ -142,7 +151,7 @@ class IncrementalVerifySession(WarmSolverHost):
             for bit in range(self._input_widths[name])
             if f"{name}[{bit}]" in bit_vars]
 
-        self._init_solver_state()
+        self._init_solver_state(reduce_interval, max_lbd_keep)
         #: Session statistics (cumulative over the session's lifetime).
         self.checks = 0
         self.cores = 0
@@ -152,6 +161,8 @@ class IncrementalVerifySession(WarmSolverHost):
         return {"checks": self.checks, "restarts": self.restarts,
                 "cores": self.cores,
                 "clauses_retained": self.clauses_retained,
+                "clauses_deleted": self.clauses_deleted,
+                "db_size_peak": self.db_size_peak,
                 "cnf_clauses": self.context.cnf.num_clauses,
                 "cnf_vars": self.context.cnf.num_vars}
 

@@ -222,10 +222,22 @@ class WarmSolverHost:
     drift between them.
     """
 
-    def _init_solver_state(self) -> None:
+    def _init_solver_state(self, reduce_interval: Optional[int] = None,
+                           max_lbd_keep: Optional[int] = None) -> None:
         self._solver: Optional[CDCLSolver] = None
         self._synced_clauses = 0
         self.restarts = 0
+        #: Clause-DB reduction knobs forwarded to every warm solver this
+        #: host builds; None defers to the CDCLSolver defaults.
+        self._solver_options: Dict[str, int] = {}
+        if reduce_interval is not None:
+            self._solver_options["reduce_interval"] = reduce_interval
+        if max_lbd_keep is not None:
+            self._solver_options["max_lbd_keep"] = max_lbd_keep
+        # Reduction telemetry accumulated from solvers dropped by restart(),
+        # so session-lifetime counters survive budget-aware cold restarts.
+        self._deleted_before_restart = 0
+        self._peak_before_restart = 0
 
     def restart(self) -> None:
         """Drop the warm solver; the context (and its literals) survive.
@@ -237,6 +249,9 @@ class WarmSolverHost:
         burns its budget slice without answering.
         """
         if self._solver is not None:
+            self._deleted_before_restart += self._solver.clauses_deleted
+            self._peak_before_restart = max(self._peak_before_restart,
+                                            self._solver.db_size_peak)
             self._solver = None
             self._synced_clauses = 0
             self.restarts += 1
@@ -244,12 +259,25 @@ class WarmSolverHost:
     @property
     def clauses_retained(self) -> int:
         """Learned clauses currently carried by the warm solver."""
-        return self._solver.learned_count if self._solver is not None else 0
+        return self._solver.learned_alive if self._solver is not None else 0
+
+    @property
+    def clauses_deleted(self) -> int:
+        """Learned clauses dropped by DB reduction over the session's life
+        (including solvers already discarded by :meth:`restart`)."""
+        current = self._solver.clauses_deleted if self._solver is not None else 0
+        return self._deleted_before_restart + current
+
+    @property
+    def db_size_peak(self) -> int:
+        """Largest learned database any of the session's solvers carried."""
+        current = self._solver.db_size_peak if self._solver is not None else 0
+        return max(self._peak_before_restart, current)
 
     def _sync_solver(self) -> CDCLSolver:
         """Feed clauses appended since the last check into the live solver."""
         if self._solver is None:
-            self._solver = CDCLSolver()
+            self._solver = CDCLSolver(**self._solver_options)
         cnf = self.context.cnf
         self._solver.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses[self._synced_clauses:]:
@@ -279,11 +307,19 @@ class IncrementalSmtSession(WarmSolverHost):
     CEGIS return the same hole values, and it makes :meth:`restart` (drop
     the warm solver, keep the context) behavior-preserving: only the
     time-to-answer changes, never the answer.
+
+    ``reduce_interval`` / ``max_lbd_keep`` configure the warm solver's
+    LBD-based clause-database reduction (None defers to the
+    :class:`~repro.sat.solver.CDCLSolver` defaults); reduction bounds the
+    learned database on long sessions and — like restarts — can only
+    change time-to-answer.  Session-lifetime reduction telemetry is
+    exposed as :attr:`clauses_deleted` / :attr:`db_size_peak`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, reduce_interval: Optional[int] = None,
+                 max_lbd_keep: Optional[int] = None) -> None:
         self.context = IncrementalContext()
-        self._init_solver_state()
+        self._init_solver_state(reduce_interval, max_lbd_keep)
         self._widths: Dict[str, int] = {}
         self._root_unsat = False
         #: Session statistics (cumulative over the session's lifetime).
@@ -324,6 +360,8 @@ class IncrementalSmtSession(WarmSolverHost):
         return {"checks": self.checks, "restarts": self.restarts,
                 "conflicts": self.conflicts, "asserted": self.asserted,
                 "clauses_retained": self.clauses_retained,
+                "clauses_deleted": self.clauses_deleted,
+                "db_size_peak": self.db_size_peak,
                 "cnf_clauses": self.context.cnf.num_clauses,
                 "cnf_vars": self.context.cnf.num_vars}
 

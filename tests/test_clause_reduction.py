@@ -1,0 +1,296 @@
+"""Tests for LBD-based clause-database reduction in the persistent solvers.
+
+Learned clauses are entailed by the problem clauses, so deleting them can
+change only the search trajectory — never a status, a canonical model, an
+unsat core's validity, or the four-way CEGIS mode equality.  These tests
+force reductions with aggressive knobs and hold the solver to that.
+"""
+
+import random
+
+import pytest
+
+from repro.bv import bv, bvvar, bvand, bvmul, bvne, bvult
+from repro.engine.budget import Budget
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+from repro.sat.solver import CDCLSolver
+from repro.smt.cegis import Obligation, synthesize
+from repro.smt.equivalence import IncrementalVerifySession
+from repro.smt.solver import IncrementalSmtSession, SmtSolver
+
+
+def _pigeonhole(holes):
+    """holes+1 pigeons into ``holes`` holes: unsat and conflict-heavy, the
+    cheapest way to force a large learned database."""
+    pigeons = holes + 1
+
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return CNF(num_vars=pigeons * holes, clauses=clauses)
+
+
+def _random_3sat(rng, num_vars):
+    """Near the sat/unsat phase transition (m ≈ 4.3·n): conflict-heavy
+    enough that even tiny instances learn clauses and trigger reduction."""
+    clauses = []
+    for _ in range(int(4.3 * num_vars)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return clauses
+
+
+def _random_clauses(rng, num_vars, num_clauses):
+    clauses = []
+    for _ in range(num_clauses):
+        clause = []
+        for _ in range(rng.randint(1, 3)):
+            v = rng.randint(1, num_vars)
+            clause.append(v if rng.random() < 0.5 else -v)
+        clauses.append(clause)
+    return clauses
+
+
+class TestReductionMechanics:
+    def test_reduction_fires_and_bounds_the_database(self):
+        solver = CDCLSolver(_pigeonhole(5), reduce_interval=40, max_lbd_keep=2)
+        assert solver.solve().is_unsat
+        assert solver.reductions > 0
+        assert solver.clauses_deleted > 0
+        assert solver.learned_alive < solver.learned_count
+        assert solver.db_size_floor <= solver.db_size_peak
+        # The peak is bounded by what survives a reduce plus one interval's
+        # worth of growth — the invariant the benchmark measures at scale.
+        assert solver.db_size_peak <= solver.db_size_floor \
+            + solver.clauses_deleted + solver.reduce_interval
+
+    def test_reduce_interval_zero_disables_reduction(self):
+        solver = CDCLSolver(_pigeonhole(5), reduce_interval=0)
+        assert solver.solve().is_unsat
+        assert solver.reductions == 0
+        assert solver.clauses_deleted == 0
+        assert solver.learned_alive == len(solver._learned)
+
+    def test_glue_threshold_protects_everything_when_maximal(self):
+        # With the glue tier covering every possible LBD, reduction passes
+        # run but may delete nothing.
+        solver = CDCLSolver(_pigeonhole(5), reduce_interval=40,
+                            max_lbd_keep=10_000)
+        assert solver.solve().is_unsat
+        assert solver.reductions > 0
+        assert solver.clauses_deleted == 0
+
+    def test_deleted_clauses_leave_no_dangling_watches(self):
+        solver = CDCLSolver(_pigeonhole(5), reduce_interval=25, max_lbd_keep=1)
+        assert solver.solve().is_unsat
+        assert solver.clauses_deleted > 0
+        for watchers in solver.watches.values():
+            for index in watchers:
+                assert solver.clauses[index] is not None
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            CDCLSolver(reduce_interval=-1)
+        with pytest.raises(ValueError):
+            CDCLSolver(max_lbd_keep=-1)
+
+
+class TestReductionSoundness:
+    def test_post_reduce_add_clause_and_assumptions_match_fresh(self):
+        rng = random.Random(23)
+        reduced_runs = 0
+        for _ in range(40):
+            num_vars = rng.randint(8, 12)
+            clauses = _random_3sat(rng, num_vars)
+            warm = CDCLSolver(CNF(num_vars=num_vars, clauses=clauses),
+                              reduce_interval=2, max_lbd_keep=0)
+            warm.solve()
+            extra = _random_clauses(rng, num_vars, rng.randint(1, 4))
+            for clause in extra:
+                warm.add_clause(clause)
+            fresh = CDCLSolver(CNF(num_vars=num_vars, clauses=clauses + extra))
+            warm_result, fresh_result = warm.solve(), fresh.solve()
+            assert warm_result.status == fresh_result.status
+            if warm_result.is_sat:
+                assignment = [None] + [warm_result.model[v]
+                                       for v in range(1, num_vars + 1)]
+                assert CNF(num_vars=num_vars,
+                           clauses=clauses + extra).evaluate(assignment)
+            assumptions = [rng.randint(1, num_vars)
+                           * (1 if rng.random() < 0.5 else -1)
+                           for _ in range(rng.randint(1, 3))]
+            with_units = clauses + extra + [[lit] for lit in assumptions]
+            expected = CDCLSolver(CNF(num_vars=num_vars,
+                                      clauses=with_units)).solve().status
+            assert warm.solve(assumptions).status == expected
+            if warm.reductions:
+                reduced_runs += 1
+        assert reduced_runs > 0  # the sample must actually exercise reduction
+
+    def test_cores_remain_valid_after_reduction(self):
+        rng = random.Random(31)
+        cores_seen = 0
+        for _ in range(60):
+            num_vars = rng.randint(6, 10)
+            clauses = _random_3sat(rng, num_vars)
+            solver = CDCLSolver(CNF(num_vars=num_vars, clauses=clauses),
+                                reduce_interval=2, max_lbd_keep=0)
+            solver.solve()  # warm up and likely reduce
+            assumptions = []
+            for v in rng.sample(range(1, num_vars + 1), min(3, num_vars)):
+                assumptions.append(v if rng.random() < 0.5 else -v)
+            result = solver.solve(assumptions=assumptions)
+            if not result.is_unsat:
+                continue
+            core = solver.last_core
+            assert core is not None
+            assert set(core) <= set(assumptions)
+            strengthened = CNF(num_vars=num_vars,
+                               clauses=clauses + [[lit] for lit in core])
+            assert CDCLSolver(strengthened).solve().is_unsat
+            # DPLL is an independent engine: CDCL cannot vouch for itself.
+            assert DPLLSolver(strengthened).solve().is_unsat
+            cores_seen += 1
+        assert cores_seen > 0
+
+    def test_statuses_match_an_unreduced_solver_on_random_cnfs(self):
+        rng = random.Random(47)
+        for _ in range(60):
+            num_vars = rng.randint(3, 10)
+            clauses = _random_clauses(rng, num_vars, rng.randint(4, 40))
+            cnf = CNF(num_vars=num_vars, clauses=clauses)
+            reduced = CDCLSolver(cnf, reduce_interval=1, max_lbd_keep=0).solve()
+            unreduced = CDCLSolver(cnf, reduce_interval=0).solve()
+            assert reduced.status == unreduced.status
+
+
+class TestSessionReduction:
+    def test_smt_session_reduction_preserves_canonical_models(self):
+        batches = [
+            [bvult(bvvar("h", 6), bv(40, 6))],
+            [bvult(bv(17, 6), bvvar("h", 6))],
+            [bvne(bvvar("h", 6), bv(20, 6)), bvne(bvvar("h", 6), bv(18, 6))],
+        ]
+        aggressive = IncrementalSmtSession(reduce_interval=1, max_lbd_keep=0)
+        plain = IncrementalSmtSession()
+        for batch in batches:
+            aggressive.assert_constraints(batch)
+            plain.assert_constraints(batch)
+            lhs, rhs = aggressive.check(), plain.check()
+            assert lhs.status == rhs.status
+            assert lhs.model.as_dict() == rhs.model.as_dict()
+        stats = aggressive.stats()
+        assert "clauses_deleted" in stats and "db_size_peak" in stats
+
+    def test_verify_session_reduction_keeps_counterexamples_canonical(self):
+        width = 8
+        x, k = bvvar("x", width), bvvar("k", width)
+        obligations = [Obligation(bvult(x, bv(100, width)), bvult(x, k))]
+        aggressive = IncrementalVerifySession(obligations, {"k": width},
+                                              {"x": width},
+                                              reduce_interval=1, max_lbd_keep=0)
+        plain = IncrementalVerifySession(obligations, {"k": width},
+                                         {"x": width})
+        for candidate in (120, 90, 0, 100):
+            lhs = aggressive.check_obligation(0, {"k": candidate})
+            rhs = plain.check_obligation(0, {"k": candidate})
+            assert lhs.status == rhs.status
+            if lhs.is_sat:
+                assert lhs.model["x"] == rhs.model["x"]
+        wrong = aggressive.check_obligation(0, {"k": 90})
+        prefix = aggressive.failure_core(0, {"k": 90}, {"x": wrong.model["x"]})
+        assert prefix
+        for name, bit, value in prefix:
+            assert name == "k" and (90 >> bit) & 1 == value
+
+    def test_telemetry_survives_budget_restarts(self):
+        session = IncrementalSmtSession(reduce_interval=1, max_lbd_keep=0)
+        session.assert_constraints([bvult(bv(6, 5), bvvar("h", 5)),
+                                    bvult(bvvar("h", 5), bv(30, 5))])
+        session.check()
+        deleted_before = session.clauses_deleted
+        peak_before = session.db_size_peak
+        session.restart()
+        assert session.clauses_deleted == deleted_before
+        assert session.db_size_peak == peak_before
+        session.check()
+        assert session.clauses_deleted >= deleted_before
+
+
+class TestCegisModeEqualityUnderReduction:
+    def _interval_instance(self, width=10):
+        x, k, m = bvvar("x", width), bvvar("k", width), bvvar("m", width)
+        obligation = Obligation(
+            bvand(bvult(x, bv(700, width)), bvult(bv(300, width), x)),
+            bvand(bvult(x, k), bvult(m, x)))
+        return [obligation], {"k": width, "m": width}
+
+    def test_mid_run_reduction_leaves_all_four_modes_identical(self):
+        obligations, holes = self._interval_instance()
+        baseline = synthesize(obligations, holes, solver=SmtSolver(seed=0),
+                              random_probes=0, initial_random_examples=0)
+        assert baseline.succeeded and baseline.iterations >= 4
+        for incremental in (False, True):
+            for incremental_verify in (False, True):
+                result = synthesize(
+                    obligations, holes, incremental=incremental,
+                    incremental_verify=incremental_verify,
+                    solver=SmtSolver(seed=0), random_probes=0,
+                    initial_random_examples=0,
+                    reduce_interval=2, max_lbd_keep=0)
+                key = (incremental, incremental_verify)
+                assert result.status == baseline.status, key
+                assert result.hole_values == baseline.hole_values, key
+                assert result.iterations == baseline.iterations, key
+                assert result.examples_used == baseline.examples_used, key
+
+    def test_reduction_telemetry_flows_into_the_result(self):
+        obligations, holes = self._interval_instance()
+        result = synthesize(obligations, holes, incremental=True,
+                            incremental_verify=True, solver=SmtSolver(seed=0),
+                            random_probes=0, initial_random_examples=0,
+                            reduce_interval=2, max_lbd_keep=0)
+        assert result.succeeded
+        assert result.db_size_peak > 0
+        assert result.clauses_deleted >= 0
+        # At default (patient) knobs these instances never trigger a
+        # reduction, so the deletion counter stays zero.
+        patient = synthesize(obligations, holes, solver=SmtSolver(seed=0),
+                             random_probes=0, initial_random_examples=0)
+        assert patient.clauses_deleted == 0
+
+    def test_throwaway_session_telemetry_is_counted(self):
+        # From-scratch mode builds a throwaway candidate session per
+        # iteration; its reduction work must be folded into the result.
+        # Factoring a semiprime forces real conflicts in that session.
+        width = 12
+        h1, h2 = bvvar("h1", width), bvvar("h2", width)
+        result = synthesize(
+            [Obligation(bv(3599, width), bvmul(h1, h2))],
+            {"h1": width, "h2": width},
+            hole_constraints=[bvult(h1, bv(64, width)),
+                              bvult(h2, bv(64, width)),
+                              bvult(bv(1, width), h1),
+                              bvult(bv(1, width), h2)],
+            solver=SmtSolver(seed=0), random_probes=0,
+            initial_random_examples=0, reduce_interval=2, max_lbd_keep=0)
+        assert result.succeeded and not result.incremental
+        assert result.hole_values in ({"h1": 59, "h2": 61},
+                                      {"h1": 61, "h2": 59})
+        assert result.db_size_peak > 0
+        assert result.clauses_deleted > 0
+
+    def test_budget_still_degrades_cleanly_with_reduction(self):
+        obligations, holes = self._interval_instance()
+        budget = Budget(timeout_seconds=0.0).start()
+        result = synthesize(obligations, holes, budget=budget,
+                            incremental=True, incremental_verify=True,
+                            reduce_interval=2, max_lbd_keep=0,
+                            random_probes=0, initial_random_examples=0)
+        assert result.status == "unknown"

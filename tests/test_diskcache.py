@@ -328,3 +328,76 @@ class TestCacheCli:
         # clear is the sanctioned way out.
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert peek_schema_version(tmp_path) == SCHEMA_VERSION
+
+
+class TestLifetimeCounters:
+    """Per-run hit/miss counts persist in the meta table, so `lakeroad
+    cache stats` can report hit rates over the database's whole life."""
+
+    def test_counters_accumulate_across_runs(self, tmp_path):
+        first = DiskSynthesisCache(tmp_path)
+        first.get(KEY)                  # miss
+        first.put(KEY, "payload")
+        first.get(KEY)                  # hit
+        first.close()
+
+        second = DiskSynthesisCache(tmp_path)
+        second.get(KEY)                 # hit
+        second.get(("other",))          # miss
+        lifetime = second.lifetime_stats()
+        # Not-yet-flushed counts from the live instance are included.
+        assert lifetime == {"lifetime_hits": 2, "lifetime_misses": 2}
+        second.close()
+
+        third = DiskSynthesisCache(tmp_path)
+        assert third.lifetime_stats() == {"lifetime_hits": 2,
+                                          "lifetime_misses": 2}
+        third.close()
+
+    def test_clear_resets_lifetime_counters(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.get(KEY)
+        cache.put(KEY, "payload")
+        cache.get(KEY)
+        cache.clear()
+        assert cache.lifetime_stats() == {"lifetime_hits": 0,
+                                          "lifetime_misses": 0}
+        cache.close()
+
+    def test_schema_migration_resets_lifetime_counters(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(KEY, "payload")
+        cache.get(KEY)
+        cache._connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION - 1),))
+        cache._connection.commit()
+        cache.close()
+        reopened = DiskSynthesisCache(tmp_path)
+        assert reopened.lifetime_stats() == {"lifetime_hits": 0,
+                                             "lifetime_misses": 0}
+        reopened.close()
+
+    def test_tiered_cache_exposes_disk_lifetime(self, tmp_path):
+        tiered = TieredSynthesisCache(SynthesisCache(),
+                                      DiskSynthesisCache(tmp_path))
+        tiered.get(KEY)                 # miss in both tiers
+        tiered.put(KEY, "payload")
+        tiered.get(KEY)                 # memory hit: not a disk statistic
+        lifetime = tiered.lifetime_stats()
+        assert lifetime["lifetime_misses"] == 1
+        assert lifetime["lifetime_hits"] == 0
+        tiered.close()
+
+    def test_cli_stats_reports_lifetime_hit_rate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = DiskSynthesisCache(tmp_path)
+        cache.get(KEY)
+        cache.put(KEY, "payload")
+        cache.get(KEY)
+        cache.get(KEY)
+        cache.close()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime: 2 hits, 1 misses (67% hit rate)" in out

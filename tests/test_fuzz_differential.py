@@ -12,7 +12,12 @@ random instances from a seed and cross-checks:
 * all four CEGIS mode combinations (``incremental`` ×
   ``incremental_verify``) against each other — statuses, hole values,
   iteration and example counts — and the winning hole assignments against
-  brute-force enumeration of the full hole space.
+  brute-force enumeration of the full hole space;
+* clause-database reduction at its most aggressive settings
+  (``reduce_interval=2, max_lbd_keep=0`` — reduce after every other
+  learned clause, protect nothing but locked clauses) against brute force
+  and against the unreduced baseline, over warm incremental solver use and
+  all four CEGIS modes.
 
 Every case derives its RNG from ``LAKEROAD_FUZZ_SEED`` (default 0) and its
 case index; failing assertions embed the case seed so a failure replays
@@ -62,6 +67,17 @@ def _replay(stream: str, case_seed: int) -> str:
 # --------------------------------------------------------------------------- #
 # Random instance generators
 # --------------------------------------------------------------------------- #
+def _random_hard_cnf(rng: random.Random) -> CNF:
+    """3-SAT near the phase transition: dense enough to learn clauses, so
+    aggressive reduce settings genuinely fire mid-search."""
+    num_vars = rng.randint(6, 11)
+    clauses = []
+    for _ in range(int(4.3 * num_vars)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return CNF(num_vars=num_vars, clauses=clauses)
+
+
 def _random_cnf(rng: random.Random) -> CNF:
     num_vars = rng.randint(2, 8)
     clauses = []
@@ -199,7 +215,54 @@ class TestWordLevelDifferential:
 
 
 # --------------------------------------------------------------------------- #
-# (c) CEGIS differential: four mode combinations vs brute force
+# (c) Clause-DB reduction differential: aggressive reduce vs brute force
+# --------------------------------------------------------------------------- #
+class TestReductionDifferential:
+    def test_aggressive_reduction_agrees_with_brute_force(self):
+        from repro.sat.solver import CDCLSolver
+
+        reduced_cases = 0
+        for index in range(max(1, CNF_CASES // 2)):
+            case_seed = _case_seed("reduce", index)
+            rng = random.Random(case_seed)
+            cnf = _random_hard_cnf(rng)
+            expected = _brute_force_cnf(cnf)
+            solver = CDCLSolver(cnf, reduce_interval=2, max_lbd_keep=0)
+            result = solver.solve()
+            assert result.status == expected, \
+                (f"reduced solver answered {result.status}, brute force says "
+                 f"{expected} on {cnf.clauses!r} {_replay('reduce', case_seed)}")
+            if result.is_sat:
+                assignment = [None] + [bool(result.model.get(var, False))
+                                       for var in range(1, cnf.num_vars + 1)]
+                assert cnf.evaluate(assignment), \
+                    (f"reduced solver returned an invalid model on "
+                     f"{cnf.clauses!r} {_replay('reduce', case_seed)}")
+            # Warm assumption solves on the reduced database.
+            for _ in range(3):
+                assumptions = [rng.randint(1, cnf.num_vars)
+                               * (1 if rng.random() < 0.5 else -1)
+                               for _ in range(rng.randint(1, 3))]
+                with_units = CNF(num_vars=cnf.num_vars,
+                                 clauses=cnf.clauses
+                                 + [[lit] for lit in assumptions])
+                expected = _brute_force_cnf(with_units)
+                outcome = solver.solve(assumptions)
+                assert outcome.status == expected, \
+                    (f"reduced solver under {assumptions!r} answered "
+                     f"{outcome.status}, brute force says {expected} "
+                     f"{_replay('reduce', case_seed)}")
+            if solver.reductions:
+                reduced_cases += 1
+        # The stream must genuinely exercise the reduction path — but only
+        # a real sample can be held to that (a minimized repro run with
+        # LAKEROAD_FUZZ_CNF_CASES=1 may legitimately never reduce).
+        if CNF_CASES >= 20:
+            assert reduced_cases > 0, "no case ever triggered a DB reduction"
+
+
+# --------------------------------------------------------------------------- #
+# (d) CEGIS differential: four mode combinations vs brute force
 # --------------------------------------------------------------------------- #
 class TestCegisDifferential:
     def test_mode_combinations_agree_and_match_brute_force(self):
@@ -221,16 +284,25 @@ class TestCegisDifferential:
             outcomes = {}
             for incremental in (False, True):
                 for incremental_verify in (False, True):
-                    outcomes[(incremental, incremental_verify)] = synthesize(
-                        [obligation], holes,
-                        incremental=incremental,
-                        incremental_verify=incremental_verify,
-                        solver=SmtSolver(seed=0), seed=case_seed & 0xFFFF,
-                        max_iterations=256)
-            base = outcomes[(False, False)]
+                    for reduced in (False, True):
+                        # reduced=True re-runs the mode with the most
+                        # aggressive clause-DB reduction settings; every
+                        # combination must stay outcome-identical.
+                        knobs = {"reduce_interval": 2, "max_lbd_keep": 0} \
+                            if reduced else {}
+                        outcomes[(incremental, incremental_verify, reduced)] = \
+                            synthesize(
+                                [obligation], holes,
+                                incremental=incremental,
+                                incremental_verify=incremental_verify,
+                                solver=SmtSolver(seed=0),
+                                seed=case_seed & 0xFFFF,
+                                max_iterations=256, **knobs)
+            base = outcomes[(False, False, False)]
             for key, outcome in outcomes.items():
-                context = (f"mode {key} vs (False, False) on spec={spec!r} "
-                           f"sketch={sketch!r} {_replay('cegis', case_seed)}")
+                context = (f"mode {key} vs (False, False, False) on "
+                           f"spec={spec!r} sketch={sketch!r} "
+                           f"{_replay('cegis', case_seed)}")
                 assert outcome.status == base.status, context
                 assert outcome.hole_values == base.hole_values, context
                 assert outcome.iterations == base.iterations, context
