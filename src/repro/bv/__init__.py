@@ -45,7 +45,8 @@ from repro.bv.builder import (
     sign_extend,
     zero_extend,
 )
-from repro.bv.eval import evaluate, free_vars
+from repro.bv.bitsim import PackedEvaluator, pack_assignments, unpack_lane
+from repro.bv.eval import evaluate, free_vars, var_widths
 from repro.bv.simplify import simplify, substitute
 
 __all__ = [
@@ -84,6 +85,10 @@ __all__ = [
     "sign_extend",
     "evaluate",
     "free_vars",
+    "var_widths",
+    "PackedEvaluator",
+    "pack_assignments",
+    "unpack_lane",
     "simplify",
     "substitute",
 ]

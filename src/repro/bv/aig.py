@@ -141,3 +141,27 @@ class AIG:
             rv = values[right >> 1] ^ (right & 1)
             values[index] = lv & rv
         return [values[lit >> 1] ^ (lit & 1) for lit in outputs]
+
+    def simulate_packed(self, input_words: Dict[str, int], outputs: List[int],
+                        lanes: int = 64) -> List[int]:
+        """Bit-parallel simulation: evaluate ``lanes`` input patterns at once.
+
+        Each input name maps to a lane word whose bit ``i`` is that input's
+        value under pattern ``i``; the returned output words are packed the
+        same way.  One pass over the node list evaluates every lane
+        simultaneously (negation is an XOR with the all-lanes mask), so a
+        64-pattern gate-level sweep costs the same node walk as one
+        :meth:`simulate` call.
+        """
+        mask = (1 << lanes) - 1
+        values: List[int] = [0] * len(self._nodes)
+        for name, lit in self._input_lits.items():
+            values[lit >> 1] = input_words[name] & mask
+        for index in range(1, len(self._nodes)):
+            left, right = self._nodes[index]
+            if (left, right) == (-1, -1):
+                continue  # primary input, already set
+            lv = values[left >> 1] ^ (mask if left & 1 else 0)
+            rv = values[right >> 1] ^ (mask if right & 1 else 0)
+            values[index] = lv & rv
+        return [values[lit >> 1] ^ (mask if lit & 1 else 0) for lit in outputs]

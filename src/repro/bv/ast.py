@@ -119,7 +119,8 @@ class BVExpr:
         params: extra integer parameters (``extract`` stores ``(hi, lo)``).
     """
 
-    __slots__ = ("op", "width", "args", "value", "name", "params", "_hash")
+    __slots__ = ("op", "width", "args", "value", "name", "params", "_hash",
+                 "_vars")
 
     _intern: dict = {}
 
@@ -154,6 +155,11 @@ class BVExpr:
                            -1 if value is None else value,
                            _string_hash(name) if name is not None else 0,
                            params))
+        # Lazily-computed free-variable width map (see repro.bv.eval).
+        # Interning makes nodes immutable and shared, so the map is a
+        # per-node fact that can be cached once and reused by every DAG
+        # containing the node.
+        node._vars = None
         cls._intern[key] = node
         return node
 

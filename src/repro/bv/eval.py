@@ -7,7 +7,7 @@ from typing import Dict, FrozenSet, Mapping
 from repro.bv.ast import BVExpr
 from repro.bv.ops import apply_op
 
-__all__ = ["evaluate", "free_vars"]
+__all__ = ["evaluate", "free_vars", "var_widths"]
 
 
 def evaluate(expr: BVExpr, env: Mapping[str, int]) -> int:
@@ -29,23 +29,72 @@ def evaluate(expr: BVExpr, env: Mapping[str, int]) -> int:
     return cache[expr]
 
 
+#: Shared memo value for variable-free subtrees (never mutated: every
+#: public entry point below copies before returning).
+_NO_VARS: Dict[str, int] = {}
+
+
+def _cached_var_widths(expr: BVExpr) -> Dict[str, int]:
+    """The memoized name -> width map of ``expr``'s free variables.
+
+    Computed bottom-up over the DAG and cached on each (interned, immutable)
+    node, so re-querying a formula — or a new formula built over already
+    analysed subtrees, as every CEGIS iteration's growing conjunction is —
+    costs one merge of the root's children instead of a full DAG walk.
+
+    The insertion order of the returned dict reproduces the historical
+    ``iter_dag`` discovery order byte-for-byte: children merge in
+    *reversed* argument order, keeping the first occurrence of each name —
+    exactly the order the stack-based post-order traversal first visits
+    variables.  That order is load-bearing: the random-probing layers draw
+    one value per variable in this order from seeded RNG streams, so
+    changing it would silently shift every probe trajectory.
+    """
+    cached = expr._vars
+    if cached is not None:
+        return cached
+    stack = [expr]
+    while stack:
+        node = stack[-1]
+        if node._vars is not None:
+            stack.pop()
+            continue
+        pending = [child for child in node.args if child._vars is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if node.op == "var":
+            node._vars = {node.name: node.width}
+        elif not node.args:
+            node._vars = _NO_VARS
+        elif len(node.args) == 1:
+            node._vars = node.args[0]._vars
+        else:
+            merged: Dict[str, int] = dict(node.args[-1]._vars)
+            for child in node.args[-2::-1]:
+                for name, width in child._vars.items():
+                    existing = merged.get(name)
+                    if existing is None:
+                        merged[name] = width
+                    elif existing != width:
+                        raise ValueError(
+                            f"variable {name!r} used at widths {existing} and {width}"
+                        )
+            node._vars = merged
+    return expr._vars
+
+
 def free_vars(expr: BVExpr) -> FrozenSet[str]:
     """The set of free variable names appearing in ``expr``."""
-    return frozenset(node.name for node in expr.iter_dag() if node.op == "var")
+    return frozenset(_cached_var_widths(expr))
 
 
 def var_widths(expr: BVExpr) -> Dict[str, int]:
     """Map each free variable name to its width.
 
     Raises :class:`ValueError` if the same name appears with two widths.
+    The result is a fresh dict (safe to mutate); the underlying map is
+    memoized per node — see :func:`_cached_var_widths`.
     """
-    widths: Dict[str, int] = {}
-    for node in expr.iter_dag():
-        if node.op == "var":
-            existing = widths.get(node.name)
-            if existing is not None and existing != node.width:
-                raise ValueError(
-                    f"variable {node.name!r} used at widths {existing} and {node.width}"
-                )
-            widths[node.name] = node.width
-    return widths
+    return dict(_cached_var_widths(expr))

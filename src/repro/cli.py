@@ -27,7 +27,7 @@ from repro.arch import available_architectures
 from repro.core.templates import available_templates
 from repro.engine.session import MappingSession
 
-__all__ = ["main", "build_parser", "build_sweep_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser", "build_bench_parser"]
 
 _PORTFOLIO_KINDS = ("thread", "process", "sequential")
 
@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "once, hole values bound as assumptions, failure "
                              "cores pruning the candidate space; identical "
                              "results to the portfolio verifier)")
+    parser.add_argument("--probes", type=int, default=32, dest="probes",
+                        help="random-probe budget for the bit-parallel fast "
+                             "layers (64 assignments per packed batch; "
+                             "0 disables probing; default: 32)")
     parser.add_argument("--stats", action="store_true",
                         help="print cache and solver-portfolio statistics")
     return parser
@@ -113,6 +117,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                              "one persistent assumption-gated miter session "
                              "per design, verification-failure cores pruning "
                              "the candidate space")
+    parser.add_argument("--probes", type=int, default=32, dest="probes",
+                        help="random-probe budget for the bit-parallel fast "
+                             "layers inside each worker (default: 32)")
     parser.add_argument("--template", default="dsp", choices=available_templates(),
                         help="sketch template to use (default: dsp)")
     parser.add_argument("--timeout", type=float, default=None,
@@ -126,6 +133,39 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="dump the raw MappingRecords to this JSON-lines file")
     parser.add_argument("--stats-json", default=None,
                         help="write a machine-readable sweep summary here")
+    return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """The ``bench`` subcommand parser: a performance snapshot."""
+    from repro.workloads.generator import ARCHITECTURE_WORKLOADS
+
+    architectures = sorted(ARCHITECTURE_WORKLOADS)
+    parser = argparse.ArgumentParser(
+        prog="lakeroad bench",
+        description="Measure probe throughput (scalar vs packed) and an "
+                    "end-to-end cold+warm mapping sweep, and write the "
+                    "snapshot to BENCH_<rev>.json.")
+    parser.add_argument("--arch", action="append", dest="architectures",
+                        choices=architectures, default=None,
+                        help="architecture to bench (repeatable; default: all "
+                             f"of {', '.join(architectures)})")
+    parser.add_argument("--count", type=int, default=4,
+                        help="stratified sample size per architecture (default: 4)")
+    parser.add_argument("--max-width", type=int, default=8,
+                        help="cap benchmark bitwidths (default: 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sampling seed (default: 0)")
+    parser.add_argument("--template", default="dsp", choices=available_templates(),
+                        help="sketch template to use (default: dsp)")
+    parser.add_argument("--probes", type=int, default=32,
+                        help="random-probe budget for the packed fast layers "
+                             "(default: 32)")
+    parser.add_argument("--throughput-assignments", type=int, default=4096,
+                        help="assignments for the scalar-vs-packed throughput "
+                             "measurement (default: 4096)")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory for BENCH_<rev>.json (default: .)")
     return parser
 
 
@@ -156,6 +196,8 @@ def main(argv=None) -> int:
         return _main_sweep(argv[1:])
     if argv and argv[0] == "cache":
         return _main_cache(argv[1:])
+    if argv and argv[0] == "bench":
+        return _main_bench(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     return _main_map(argv)
@@ -175,11 +217,14 @@ def _main_map(argv) -> int:
         parser.error(f"no such file: {args.verilog}")
     source = source_path.read_text()
 
+    if args.probes < 0:
+        parser.error("--probes must be non-negative")
     session = MappingSession(enable_cache=not args.no_cache,
                              cache_dir=args.cache_dir,
                              portfolio=args.portfolio,
                              incremental=args.incremental,
-                             incremental_verify=args.incremental_verify)
+                             incremental_verify=args.incremental_verify,
+                             random_probes=args.probes)
     result = session.map_verilog(
         source,
         template=args.template,
@@ -213,6 +258,12 @@ def _main_map(argv) -> int:
             print(f"clause DB: peak {synthesis.db_size_peak} learned "
                   f"clause(s), {synthesis.clauses_deleted} deleted by "
                   "reduction", file=sys.stderr)
+        if result.synthesis is not None:
+            synthesis = result.synthesis
+            print(f"probes: {synthesis.probe_lanes_evaluated} packed lane(s) "
+                  f"evaluated, {synthesis.probe_hits} batch hit(s), "
+                  f"{synthesis.prefilter_cex_found} pre-filter "
+                  "counterexample(s)", file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)
@@ -263,17 +314,21 @@ def _main_sweep(argv) -> int:
         parser.error("the requested sample is empty (raise --count/--max-width; "
                      "the narrowest enumerated benchmarks are 8 bits wide)")
 
+    if args.probes < 0:
+        parser.error("--probes must be non-negative")
     config = ExperimentConfig(validate=args.validate, template=args.template,
                               workers=args.workers, cache_dir=args.cache_dir,
                               portfolio=args.portfolio,
                               incremental=args.incremental,
-                              incremental_verify=args.incremental_verify)
+                              incremental_verify=args.incremental_verify,
+                              random_probes=args.probes)
     if args.timeout is not None:
         config.timeout_seconds = {arch: args.timeout for arch in architectures}
     spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
                        enable_cache=not args.no_cache,
                        incremental=args.incremental,
-                       incremental_verify=args.incremental_verify)
+                       incremental_verify=args.incremental_verify,
+                       random_probes=args.probes)
 
     result = run_sweep(benchmarks, config, workers=args.workers,
                        session_spec=spec)
@@ -299,6 +354,9 @@ def _main_sweep(argv) -> int:
         print(f"clause DB: peak {result.db_size_peak} learned clause(s), "
               f"{result.clauses_deleted} deleted by reduction",
               file=sys.stderr)
+    print(f"probes: {result.probe_lanes_evaluated} packed lane(s) evaluated, "
+          f"{result.probe_hits} batch hit(s), {result.prefilter_cex_found} "
+          "pre-filter counterexample(s)", file=sys.stderr)
 
     if args.jsonl:
         records_to_jsonl(result.records, args.jsonl)
@@ -321,10 +379,53 @@ def _main_sweep(argv) -> int:
             "cores_pruned": result.cores_pruned,
             "clauses_deleted": result.clauses_deleted,
             "db_size_peak": result.db_size_peak,
+            "random_probes": args.probes,
+            "probe_lanes_evaluated": result.probe_lanes_evaluated,
+            "probe_hits": result.probe_hits,
+            "prefilter_cex_found": result.prefilter_cex_found,
         }
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were
     # unmappable; only an empty record set is an error (caught above).
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# lakeroad bench
+# --------------------------------------------------------------------------- #
+def _main_bench(argv) -> int:
+    from repro.harness.bench import run_bench, write_snapshot
+
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+    if args.probes < 0:
+        parser.error("--probes must be non-negative")
+
+    snapshot = run_bench(architectures=args.architectures,
+                         count=args.count, seed=args.seed,
+                         max_width=args.max_width, template=args.template,
+                         random_probes=args.probes,
+                         throughput_assignments=args.throughput_assignments)
+    path = write_snapshot(snapshot, args.output_dir)
+
+    totals = snapshot["totals"]
+    throughput = snapshot["probe_throughput"]
+    print(f"revision: {snapshot['revision']}", file=sys.stderr)
+    print(f"solved: {totals['solved']}/{totals['benchmarks']} "
+          f"({totals['solved_rate']:.0%}) in {totals['cold_seconds']:.2f}s cold, "
+          f"{totals['warm_seconds']:.2f}s warm "
+          f"({totals['warm_cache_hit_rate']:.0%} cache hits)", file=sys.stderr)
+    print(f"phases: {snapshot['phases']['candidate_seconds']:.2f}s candidate, "
+          f"{snapshot['phases']['verify_seconds']:.2f}s verify", file=sys.stderr)
+    print(f"probes: {snapshot['probes']['probe_lanes_evaluated']} lane(s), "
+          f"{snapshot['probes']['probe_hits']} batch hit(s), "
+          f"{snapshot['probes']['prefilter_cex_found']} pre-filter cex",
+          file=sys.stderr)
+    print(f"probe throughput: "
+          f"{throughput['packed_assignments_per_second']:,.0f}/s packed vs "
+          f"{throughput['scalar_assignments_per_second']:,.0f}/s scalar "
+          f"({throughput['speedup']:.1f}x)", file=sys.stderr)
+    print(str(path))
     return 0
 
 

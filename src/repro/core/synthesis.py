@@ -64,6 +64,13 @@ class SynthesisOutcome:
     #: clauses deleted, and the learned-database high-water mark.
     clauses_deleted: int = 0
     db_size_peak: int = 0
+    #: Bit-parallel probing telemetry (see :mod:`repro.bv.bitsim`): packed
+    #: random-probe assignments evaluated, probe batches that hit, and
+    #: verification counterexamples the packed pre-filter found without
+    #: blasting.
+    probe_lanes_evaluated: int = 0
+    probe_hits: int = 0
+    prefilter_cex_found: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -87,7 +94,8 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
               check_inputs: bool = True,
               budget: Optional[Budget] = None,
               incremental: bool = False,
-              incremental_verify: bool = False) -> SynthesisOutcome:
+              incremental_verify: bool = False,
+              random_probes: int = 32) -> SynthesisOutcome:
     """Synthesize a ``t``-cycle implementation of ``design`` guided by ``sketch``,
     equivalent over the window ``at_time .. at_time + cycles``.
 
@@ -128,6 +136,7 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         solver=solver,
         incremental=incremental,
         incremental_verify=incremental_verify,
+        random_probes=random_probes,
     )
 
     outcome = SynthesisOutcome(
@@ -148,6 +157,9 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         cores_pruned=cegis.cores_pruned,
         clauses_deleted=cegis.clauses_deleted,
         db_size_peak=cegis.db_size_peak,
+        probe_lanes_evaluated=cegis.probe_lanes_evaluated,
+        probe_hits=cegis.probe_hits,
+        prefilter_cex_found=cegis.prefilter_cex_found,
     )
     if not cegis.succeeded:
         return outcome

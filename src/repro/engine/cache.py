@@ -106,9 +106,12 @@ class SynthesisCache:
     @staticmethod
     def key(design_fingerprint: str, architecture: str, template: str,
             budget_key: Optional[float], extra_cycles: int,
-            validate: bool) -> Tuple:
+            validate: bool, random_probes: int = 32) -> Tuple:
+        # ``random_probes`` changes which CEGIS trajectory runs (probe-found
+        # models are not canonicalized), so results solved under different
+        # probe budgets must not alias.
         return (design_fingerprint, architecture, template, budget_key,
-                extra_cycles, validate)
+                extra_cycles, validate, random_probes)
 
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:

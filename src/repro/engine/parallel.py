@@ -56,12 +56,14 @@ class SessionSpec:
     enable_cache: bool = True
     incremental: bool = False
     incremental_verify: bool = False
+    random_probes: int = 32
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "SessionSpec":
         return cls(portfolio=config.portfolio, cache_dir=config.cache_dir,
                    incremental=config.incremental,
-                   incremental_verify=config.incremental_verify)
+                   incremental_verify=config.incremental_verify,
+                   random_probes=config.random_probes)
 
     def build(self):
         from repro.engine.session import MappingSession
@@ -70,7 +72,8 @@ class SessionSpec:
                               cache_dir=self.cache_dir,
                               enable_cache=self.enable_cache,
                               incremental=self.incremental,
-                              incremental_verify=self.incremental_verify)
+                              incremental_verify=self.incremental_verify,
+                              random_probes=self.random_probes)
 
 
 @dataclass
@@ -141,6 +144,30 @@ class SweepResult:
         carried this run (the sweep's solver-memory high-water mark)."""
         return max((record.db_size_peak for record in self.records
                     if not record.cache_hit), default=0)
+
+    @property
+    def probe_lanes_evaluated(self) -> int:
+        """Packed random-probe assignments evaluated by the bit-parallel
+        fast layers, summed over the records that actually ran synthesis
+        this run."""
+        return sum(record.probe_lanes_evaluated for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def probe_hits(self) -> int:
+        """Probe batches that found a satisfying lane (candidate or
+        counterexample), summed over the records that actually ran
+        synthesis this run."""
+        return sum(record.probe_hits for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def prefilter_cex_found(self) -> int:
+        """Verification counterexamples the packed random-simulation
+        pre-filter caught without bit-blasting, summed over the records
+        that actually ran synthesis this run."""
+        return sum(record.prefilter_cex_found for record in self.records
+                   if not record.cache_hit)
 
     def outcome_counts(self) -> Dict[str, int]:
         counts: Counter = Counter(record.outcome for record in self.records)

@@ -154,7 +154,8 @@ class MappingSession:
                  cache_dir=None,
                  incremental: bool = False,
                  incremental_verify: bool = False,
-                 cache_max_entries: Optional[int] = None) -> None:
+                 cache_max_entries: Optional[int] = None,
+                 random_probes: int = 32) -> None:
         self.library = library if library is not None else PrimitiveLibrary()
         #: Run the CEGIS candidate step on one persistent solver session per
         #: design (clause reuse across iterations).  Results are identical
@@ -170,6 +171,14 @@ class MappingSession:
         #: verifier by construction, so cached results are shared between
         #: the modes too.
         self.incremental_verify = incremental_verify
+        #: Random-probe budget for the packed fast layers (the CEGIS
+        #: candidate step and the solver's layer 2 — see
+        #: :mod:`repro.bv.bitsim`).  Probes are evaluated 64 lanes per
+        #: word-parallel batch; the count changes which CEGIS trajectory
+        #: runs, so it participates in the synthesis cache key.
+        if random_probes < 0:
+            raise ValueError("random_probes must be non-negative")
+        self.random_probes = random_probes
         if isinstance(portfolio, str):
             portfolio = make_portfolio(portfolio)
         if portfolio is None and solver is not None:
@@ -177,7 +186,8 @@ class MappingSession:
             # reports the races that actually ran.
             portfolio = solver.portfolio
         self.portfolio = portfolio if portfolio is not None else SatPortfolio()
-        self.solver = solver if solver is not None else SmtSolver(portfolio=self.portfolio)
+        self.solver = solver if solver is not None else SmtSolver(
+            portfolio=self.portfolio, random_probes=random_probes)
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either an explicit cache or a cache_dir, "
                              "not both (a silently dropped cache_dir would "
@@ -263,7 +273,7 @@ class MappingSession:
         if caching:
             cache_key = SynthesisCache.key(
                 program_fingerprint(design.program), architecture.name, template,
-                budget.key(), extra_cycles, validate)
+                budget.key(), extra_cycles, validate, self.random_probes)
             cached = self.cache.get(cache_key)
             if cached is not None:
                 stats = self.cache.stats()
@@ -307,7 +317,8 @@ class MappingSession:
                             cycles=extra_cycles, budget=budget,
                             solver=self.solver,
                             incremental=self.incremental,
-                            incremental_verify=self.incremental_verify)
+                            incremental_verify=self.incremental_verify,
+                            random_probes=self.random_probes)
 
         result = LakeroadResult(
             status=budget_mod.mapping_status(outcome.status),

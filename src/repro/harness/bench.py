@@ -1,0 +1,220 @@
+"""``lakeroad bench``: a one-command performance snapshot.
+
+The bench harness measures the numbers ROADMAP experiments and CI trend
+lines care about and writes them to ``BENCH_<rev>.json`` (``<rev>`` is the
+short git revision, or ``unknown`` outside a checkout):
+
+* **probe throughput** — scalar ``evaluate`` versus the packed 64-lane
+  :class:`~repro.bv.bitsim.PackedEvaluator` on a representative synthesis
+  miter, in assignments/second (no early exit on either side, so the ratio
+  is a pure engine comparison);
+* **end-to-end sweep** — a cold mapping pass over sampled tier-1 workloads
+  followed by a warm re-run, reporting wall time, solved rate, cache hit
+  rate and the per-phase candidate/verify breakdown with the bit-parallel
+  probing telemetry.
+
+Snapshots are additive — each revision writes its own file — so comparing
+two checkouts is ``diff BENCH_a.json BENCH_b.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bv import (
+    bvadd,
+    bvand,
+    bvextract,
+    bvite,
+    bvmul,
+    bvor,
+    bvredor,
+    bvvar,
+    bvxor,
+    evaluate,
+    var_widths,
+    zero_extend,
+)
+from repro.bv.bitsim import PROBE_LANES, PackedEvaluator
+
+__all__ = ["git_revision", "probe_throughput", "run_bench", "write_snapshot"]
+
+
+def git_revision(repo_root: Optional[Path] = None) -> str:
+    """The short git revision of the checkout (``unknown`` when not a repo)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else "unknown"
+
+
+def _representative_formula():
+    """A miter-shaped formula exercising the op mix probe queries see.
+
+    Built deterministically (fixed seed) so every bench run times the same
+    DAG, and shaped like a tier-1 DSP-template equivalence query: 8-bit
+    inputs, a multiply-add spec cone, a sketch cone of hole-selected muxes
+    over word ops and arithmetic, and an xor-reduce miter root.
+    """
+    rng = random.Random(0xBEEF)
+    width = 8
+    a, b, c = (bvvar(name, width) for name in ("a", "b", "c"))
+    spec = bvextract(
+        width - 1, 0,
+        bvadd(bvmul(zero_extend(a, width), zero_extend(b, width)),
+              zero_extend(c, width)))
+    pool = [a, b, c]
+    for i in range(40):
+        x, y = rng.choice(pool), rng.choice(pool)
+        op = rng.choice((bvadd, bvand, bvor, bvxor, bvadd, bvxor))
+        node = op(x, y)
+        if rng.random() < 0.3:
+            select = bvvar(f"h{i}", 1)
+            node = bvite(select, node, bvxor(x, y))
+        pool.append(node)
+    sketch = bvadd(bvmul(pool[-1], pool[-2]), pool[-3])
+    return bvredor(bvxor(spec, sketch))
+
+
+def probe_throughput(assignments: int = 4096) -> Dict[str, float]:
+    """Scalar vs packed evaluation throughput on the representative miter.
+
+    Both sides evaluate exactly ``assignments`` random assignments drawn
+    from the same seeded stream, with no early exit, and report
+    assignments/second.  ``speedup`` is packed over scalar.
+    """
+    formula = _representative_formula()
+    widths = var_widths(formula)
+    items = list(widths.items())
+    rng = random.Random(1)
+    batch = [{name: rng.getrandbits(w) for name, w in items}
+             for _ in range(assignments)]
+
+    start = time.perf_counter()
+    for assignment in batch:
+        evaluate(formula, assignment)
+    scalar_seconds = time.perf_counter() - start
+
+    evaluator = PackedEvaluator(formula)
+    start = time.perf_counter()
+    for base in range(0, assignments, PROBE_LANES):
+        evaluator.evaluate_batch(batch[base:base + PROBE_LANES])
+    packed_seconds = time.perf_counter() - start
+
+    scalar_rate = assignments / scalar_seconds if scalar_seconds else 0.0
+    packed_rate = assignments / packed_seconds if packed_seconds else 0.0
+    return {
+        "assignments": float(assignments),
+        "scalar_seconds": scalar_seconds,
+        "packed_seconds": packed_seconds,
+        "scalar_assignments_per_second": scalar_rate,
+        "packed_assignments_per_second": packed_rate,
+        "speedup": packed_rate / scalar_rate if scalar_rate else 0.0,
+    }
+
+
+def run_bench(architectures: Optional[Sequence[str]] = None,
+              count: int = 4, seed: int = 0, max_width: int = 8,
+              template: str = "dsp", random_probes: int = 32,
+              throughput_assignments: int = 4096) -> dict:
+    """Run the bench suite and return the snapshot payload."""
+    from repro.engine.session import MappingSession
+    from repro.harness.runner import ExperimentConfig
+    from repro.hdl.behavioral import verilog_to_behavioral
+    from repro.workloads.generator import ARCHITECTURE_WORKLOADS, sample_workloads
+
+    if architectures is None:
+        architectures = sorted(ARCHITECTURE_WORKLOADS)
+    benchmarks = []
+    for architecture in architectures:
+        benchmarks.extend(sample_workloads(architecture, count, seed=seed,
+                                           max_width=max_width))
+
+    config = ExperimentConfig(template=template, random_probes=random_probes)
+    designs: List[dict] = []
+    phases = {"candidate_seconds": 0.0, "verify_seconds": 0.0}
+    probes = {"probe_lanes_evaluated": 0, "probe_hits": 0,
+              "prefilter_cex_found": 0}
+    with MappingSession(random_probes=random_probes) as session:
+        cold_start = time.perf_counter()
+        for benchmark in benchmarks:
+            design = verilog_to_behavioral(benchmark.verilog)
+            result = session.map_design(
+                design, template=template, arch=benchmark.architecture,
+                timeout_seconds=config.timeout_for(benchmark.architecture))
+            synthesis = result.synthesis
+            designs.append({
+                "benchmark": benchmark.name,
+                "architecture": benchmark.architecture,
+                "outcome": result.status,
+                "time_seconds": result.time_seconds,
+                "probe_lanes_evaluated":
+                    synthesis.probe_lanes_evaluated if synthesis else 0,
+                "probe_hits": synthesis.probe_hits if synthesis else 0,
+                "prefilter_cex_found":
+                    synthesis.prefilter_cex_found if synthesis else 0,
+            })
+            if synthesis is not None:
+                phases["candidate_seconds"] += synthesis.candidate_time_seconds
+                phases["verify_seconds"] += synthesis.verify_time_seconds
+                probes["probe_lanes_evaluated"] += synthesis.probe_lanes_evaluated
+                probes["probe_hits"] += synthesis.probe_hits
+                probes["prefilter_cex_found"] += synthesis.prefilter_cex_found
+        cold_seconds = time.perf_counter() - cold_start
+
+        warm_start = time.perf_counter()
+        warm_hits = 0
+        for benchmark in benchmarks:
+            design = verilog_to_behavioral(benchmark.verilog)
+            result = session.map_design(
+                design, template=template, arch=benchmark.architecture,
+                timeout_seconds=config.timeout_for(benchmark.architecture))
+            warm_hits += 1 if result.cache_hit else 0
+        warm_seconds = time.perf_counter() - warm_start
+        cache_stats = session.cache_stats()
+
+    solved = sum(1 for design in designs if design["outcome"] == "success")
+    throughput = probe_throughput(throughput_assignments)
+    return {
+        "revision": git_revision(),
+        "tool": "lakeroad bench",
+        "config": {
+            "architectures": list(architectures),
+            "count": count,
+            "seed": seed,
+            "max_width": max_width,
+            "template": template,
+            "random_probes": random_probes,
+        },
+        "totals": {
+            "benchmarks": len(designs),
+            "solved": solved,
+            "solved_rate": solved / len(designs) if designs else 0.0,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_cache_hit_rate": warm_hits / len(designs) if designs else 0.0,
+            "cache": cache_stats,
+        },
+        "phases": phases,
+        "probes": probes,
+        "probe_throughput": throughput,
+        "designs": designs,
+    }
+
+
+def write_snapshot(snapshot: dict, out_dir=".") -> Path:
+    """Write ``snapshot`` to ``<out_dir>/BENCH_<rev>.json`` and return the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{snapshot['revision']}.json"
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return path

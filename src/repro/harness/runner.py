@@ -65,6 +65,10 @@ class ExperimentConfig:
     #: hole values and iteration counts are identical to the portfolio
     #: verifier.
     incremental_verify: bool = False
+    #: Random-probe budget for the packed (64-lane word-parallel) fast
+    #: layers in the solver and the CEGIS candidate step; see
+    #: :mod:`repro.bv.bitsim`.  0 disables random probing entirely.
+    random_probes: int = 32
 
     def timeout_for(self, architecture: str) -> float:
         return budget_mod.timeout_for(architecture, self.timeout_seconds)
@@ -104,6 +108,13 @@ class MappingRecord:
     #: (zero when neither incremental mode ran).
     clauses_deleted: int = 0
     db_size_peak: int = 0
+    #: Bit-parallel probing telemetry: packed random-probe assignments
+    #: evaluated across the candidate and verification steps, probe batches
+    #: that found a satisfying lane, and verification counterexamples the
+    #: packed pre-filter caught before any bit-blasting.
+    probe_lanes_evaluated: int = 0
+    probe_hits: int = 0
+    prefilter_cex_found: int = 0
 
     @property
     def mapped(self) -> bool:
@@ -185,6 +196,9 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         cores_pruned=synthesis.cores_pruned if synthesis else 0,
         clauses_deleted=synthesis.clauses_deleted if synthesis else 0,
         db_size_peak=synthesis.db_size_peak if synthesis else 0,
+        probe_lanes_evaluated=synthesis.probe_lanes_evaluated if synthesis else 0,
+        probe_hits=synthesis.probe_hits if synthesis else 0,
+        prefilter_cex_found=synthesis.prefilter_cex_found if synthesis else 0,
     )
 
 
@@ -217,7 +231,8 @@ def run_lakeroad(benchmarks: Sequence[Microbenchmark],
         return run_lakeroad_parallel(benchmarks, config, workers=workers)
     if session is None:
         if config.cache_dir is not None or config.portfolio != "thread" \
-                or config.incremental or config.incremental_verify:
+                or config.incremental or config.incremental_verify \
+                or config.random_probes != 32:
             # The config asks for a non-default session; honour it instead
             # of silently dropping the knobs on the serial path.  The
             # session is ours, so release its disk-cache handle when done.

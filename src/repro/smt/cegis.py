@@ -74,6 +74,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bv import bv, bvand, bveq, bvextract, bvne, bvor, bvvar
 from repro.bv.ast import BVExpr
+from repro.bv.bitsim import PROBE_LANES, PackedEvaluator, first_sat_lane
 from repro.bv.eval import evaluate, var_widths
 from repro.bv.simplify import substitute
 from repro.engine.budget import Budget
@@ -149,6 +150,16 @@ class CegisResult:
     #: Largest learned database any of the run's solvers carried (the
     #: memory high-water mark reduction bounds).
     db_size_peak: int = 0
+    #: Packed random-probe assignments evaluated by the bit-parallel
+    #: simulator (candidate-step hole batches and verification miter
+    #: pre-filtering combined).
+    probe_lanes_evaluated: int = 0
+    #: Probe batches that found a satisfying lane — each candidate-step
+    #: hit is a session solve the SAT layer never had to run.
+    probe_hits: int = 0
+    #: Verification counterexamples discovered by the packed
+    #: random-simulation pre-filter, i.e. without blasting the miter.
+    prefilter_cex_found: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -277,13 +288,31 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
     zeros = {name: 0 for name in widths}
     if evaluate(formula, zeros):
         return zeros, "sat", "simulate"
-    probe_rng = random.Random((seed & 0xFFFFFFFF) * 1_000_003 + iteration)
-    for _ in range(random_probes):
-        if deadline is not None and time.monotonic() > deadline:
-            return None, "unknown", "timeout"
-        assignment = {name: probe_rng.getrandbits(width) for name, width in widths.items()}
-        if evaluate(formula, assignment):
-            return assignment, "sat", "simulate"
+    # Random probing, SAT-sweep style: the accumulated counterexample
+    # obligations are one conjunction, and each packed batch evaluates 64
+    # hole assignments against all of them per word-op — a formula-free
+    # variable draws nothing, so probing is pointless once zeros failed.
+    # The per-iteration RNG is drawn whole (it is discarded afterwards, so
+    # unlike SmtSolver.check no stream-position replay is needed) and
+    # lanes are scanned in order: the first satisfying lane is the first
+    # satisfying probe the historical scalar loop would have returned.
+    if random_probes and widths:
+        probe_rng = random.Random((seed & 0xFFFFFFFF) * 1_000_003 + iteration)
+        items = list(widths.items())
+        evaluator = PackedEvaluator(formula)
+        drawn = 0
+        while drawn < random_probes:
+            if deadline is not None and time.monotonic() > deadline:
+                return None, "unknown", "timeout"
+            chunk = min(PROBE_LANES, random_probes - drawn)
+            batch = [{name: probe_rng.getrandbits(width)
+                      for name, width in items} for _ in range(chunk)]
+            drawn += chunk
+            result.probe_lanes_evaluated += chunk
+            hits = evaluator.sat_lanes(batch)
+            if hits:
+                result.probe_hits += 1
+                return batch[first_sat_lane(hits)], "sat", "simulate"
 
     incremental = session is not None
     if not incremental:
@@ -540,6 +569,12 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
                                             canonical=True,
                                             sat_layer=sat_layer)
             result.verify_strategy = equivalence.strategy
+            result.probe_lanes_evaluated += equivalence.probe_lanes
+            if equivalence.is_different and equivalence.strategy == "simulate":
+                # The packed random-simulation pre-filter found the
+                # counterexample before anything was blasted.
+                result.probe_hits += 1
+                result.prefilter_cex_found += 1
             if equivalence.is_equivalent:
                 continue
             verified = False

@@ -55,6 +55,10 @@ class EquivalenceResult:
     counterexample: Optional[Model] = None
     strategy: str = "none"
     time_seconds: float = 0.0
+    #: Packed random-simulation lanes the pre-filter evaluated before (or
+    #: instead of) blasting; a ``different`` verdict with strategy
+    #: ``"simulate"`` is a counterexample the pre-filter found for free.
+    probe_lanes: int = 0
 
     @property
     def is_equivalent(self) -> bool:
@@ -258,7 +262,13 @@ def check_equivalence(lhs: BVExpr, rhs: BVExpr,
     (name-ordered lex-smallest) one; ``sat_layer`` swaps the blast-and-race
     layer for a caller-supplied decision procedure (the incremental
     verifier) while keeping the structural/normalise/probing fast paths —
-    and their RNG consumption — identical across both verifiers.
+    and their RNG consumption — identical across both verifiers.  The
+    probing layer doubles as a packed random-simulation *pre-filter*: 64
+    random input patterns are evaluated per word-op on the miter DAG
+    before anything is blasted, and a shallow counterexample found there
+    (strategy ``"simulate"``) skips the SAT layer entirely — on both
+    verifier paths, so the shared RNG stream and the counterexample
+    sequence stay mode-independent.
     """
     start = time.monotonic()
     if lhs.width != rhs.width:
@@ -287,9 +297,13 @@ def check_equivalence(lhs: BVExpr, rhs: BVExpr,
                        canonical=canonical, sat_layer=sat_layer)
     elapsed = time.monotonic() - start
     if result.is_unknown:
-        return EquivalenceResult("unknown", strategy=result.strategy, time_seconds=elapsed)
+        return EquivalenceResult("unknown", strategy=result.strategy,
+                                 time_seconds=elapsed,
+                                 probe_lanes=result.probe_lanes)
     if result.is_unsat:
-        return EquivalenceResult("equivalent", strategy=result.strategy, time_seconds=elapsed)
+        return EquivalenceResult("equivalent", strategy=result.strategy,
+                                 time_seconds=elapsed,
+                                 probe_lanes=result.probe_lanes)
 
     # SAT: the model only covers variables in the miter's support; fill the
     # rest with zeros so callers can evaluate both sides directly.
@@ -297,4 +311,6 @@ def check_equivalence(lhs: BVExpr, rhs: BVExpr,
     widths.update(var_widths(lhs))
     widths.update(var_widths(rhs))
     values = {name: result.model.get(name, 0) for name in widths}
-    return EquivalenceResult("different", Model(values, widths), result.strategy, elapsed)
+    return EquivalenceResult("different", Model(values, widths),
+                             result.strategy, elapsed,
+                             probe_lanes=result.probe_lanes)

@@ -6,8 +6,10 @@ strategy that mirrors the paper's solver portfolio:
 
 1. *normalise* -- the smart-constructor rewriting may already reduce the
    conjunction to a constant;
-2. *simulate*  -- a short burst of random concrete assignments looks for an
-   easy satisfying assignment (the cheap way to answer SAT queries);
+2. *simulate*  -- a short burst of random concrete assignments, evaluated
+   64 at a time by the bit-parallel packed simulator
+   (:mod:`repro.bv.bitsim`), looks for an easy satisfying assignment (the
+   cheap way to answer SAT queries);
 3. *bit-blast + SAT portfolio* -- the complete decision procedure.
 
 Every entry point accepts a ``deadline`` (an absolute ``time.monotonic``
@@ -25,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bv import bvand, bvvar
 from repro.bv.ast import BVExpr
 from repro.bv.bitblast import BitBlaster, IncrementalContext
+from repro.bv.bitsim import PROBE_LANES, PackedEvaluator, first_sat_lane
 from repro.bv.cnf import aig_to_cnf, lit_to_cnf
 from repro.bv.eval import evaluate, var_widths
 from repro.sat.portfolio import SatPortfolio
@@ -103,6 +106,9 @@ class SmtResult:
     strategy: str = "none"  # which layer decided the query
     time_seconds: float = 0.0
     sat_conflicts: int = 0
+    #: Packed random-probe assignments evaluated while deciding this query
+    #: (layer 2's throughput telemetry; 0 when probing was skipped).
+    probe_lanes: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -158,29 +164,66 @@ class SmtSolver:
 
         widths = var_widths(formula)
 
-        # Layer 2: random probing for an easy SAT answer.
-        for _ in range(self.random_probes):
-            if deadline is not None and time.monotonic() > deadline:
-                return SmtResult("unknown", None, "timeout", time.monotonic() - start)
-            assignment = {name: self.rng.getrandbits(width) for name, width in widths.items()}
-            if evaluate(formula, assignment):
-                return SmtResult("sat", Model(assignment, widths), "simulate",
-                                 time.monotonic() - start)
+        # Layer 2: random probing for an easy SAT answer — packed 64 lanes
+        # at a time (see repro.bv.bitsim).  The batch is drawn from the
+        # same persistent RNG stream, in the same per-variable order, as
+        # the historical one-probe-at-a-time loop; lanes are scanned in
+        # order so the first satisfying lane is exactly the first
+        # satisfying scalar probe.  On a hit the stream is rewound and
+        # re-advanced to just past the winning probe — the position the
+        # scalar loop (which stopped there) would have left it at — so
+        # every downstream draw, and with it every CEGIS trajectory, stays
+        # byte-for-byte identical across solver configurations and both
+        # verifier modes.
+        lanes_spent = 0
+        if self.random_probes and widths:
+            items = list(widths.items())
+            evaluator = PackedEvaluator(formula)
+            state = self.rng.getstate()
+            while lanes_spent < self.random_probes:
+                if deadline is not None and time.monotonic() > deadline:
+                    return SmtResult("unknown", None, "timeout",
+                                     time.monotonic() - start,
+                                     probe_lanes=lanes_spent)
+                chunk = min(PROBE_LANES, self.random_probes - lanes_spent)
+                batch = [{name: self.rng.getrandbits(width)
+                          for name, width in items} for _ in range(chunk)]
+                lanes_spent += chunk
+                hits = evaluator.sat_lanes(batch)
+                if hits:
+                    lane = first_sat_lane(hits)
+                    self.rng.setstate(state)
+                    for _ in range(lanes_spent - chunk + lane + 1):
+                        for _name, width in items:
+                            self.rng.getrandbits(width)
+                    return SmtResult("sat", Model(batch[lane], widths),
+                                     "simulate", time.monotonic() - start,
+                                     probe_lanes=lanes_spent)
+        elif self.random_probes and evaluate(formula, {}):
+            # No free variables: every scalar probe evaluated the same
+            # closed formula (consuming no randomness); one evaluation
+            # decides them all.
+            return SmtResult("sat", Model({}, widths), "simulate",
+                             time.monotonic() - start)
 
         # Layer 3: hand to the pluggable SAT layer (an incremental session)
         # or bit-blast and race the portfolio.
         if sat_layer is not None:
-            return sat_layer(formula, widths, deadline)
+            layered = sat_layer(formula, widths, deadline)
+            layered.probe_lanes += lanes_spent
+            return layered
         blaster = BitBlaster()
         bits = blaster.blast(formula)
         cnf, input_vars = aig_to_cnf(blaster.aig, bits)
         sat_result, winner = self.portfolio.solve(cnf, deadline=deadline)
         if sat_result.is_unknown:
             return SmtResult("unknown", None, "timeout",
-                             time.monotonic() - start, sat_result.conflicts)
+                             time.monotonic() - start, sat_result.conflicts,
+                             probe_lanes=lanes_spent)
         if sat_result.is_unsat:
             return SmtResult("unsat", None, f"sat:{winner}",
-                             time.monotonic() - start, sat_result.conflicts)
+                             time.monotonic() - start, sat_result.conflicts,
+                             probe_lanes=lanes_spent)
 
         model = sat_result.model
         if canonical:
@@ -196,7 +239,8 @@ class SmtSolver:
                 # equality everything downstream relies on; a run this
                 # close to its budget ends in "timeout" either way.
                 return SmtResult("unknown", None, "timeout",
-                                 time.monotonic() - start, sat_result.conflicts)
+                                 time.monotonic() - start, sat_result.conflicts,
+                                 probe_lanes=lanes_spent)
 
         values: Dict[str, int] = {name: 0 for name in widths}
         for bit_name, cnf_var in input_vars.items():
@@ -207,7 +251,8 @@ class SmtSolver:
             if var_name in values:
                 values[var_name] |= 1 << bit_index
         return SmtResult("sat", Model(values, widths), f"sat:{winner}",
-                         time.monotonic() - start, sat_result.conflicts)
+                         time.monotonic() - start, sat_result.conflicts,
+                         probe_lanes=lanes_spent)
 
 
 class WarmSolverHost:

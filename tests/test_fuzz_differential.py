@@ -17,7 +17,11 @@ random instances from a seed and cross-checks:
   (``reduce_interval=2, max_lbd_keep=0`` — reduce after every other
   learned clause, protect nothing but locked clauses) against brute force
   and against the unreduced baseline, over warm incremental solver use and
-  all four CEGIS modes.
+  all four CEGIS modes;
+* the bit-parallel :class:`~repro.bv.bitsim.PackedEvaluator` against the
+  scalar evaluator, lane by lane, on random expressions covering **every**
+  operator at random widths and batch sizes — and ``AIG.simulate_packed``
+  against ``AIG.simulate`` on bit-blasted random designs.
 
 Every case derives its RNG from ``LAKEROAD_FUZZ_SEED`` (default 0) and its
 case index; failing assertions embed the case seed so a failure replays
@@ -33,10 +37,14 @@ import zlib
 import pytest
 
 from repro.bv import (
-    bv, bvvar, bvadd, bvsub, bvmul, bvand, bvor, bvxor, bvnot, bvneg,
-    bveq, bvne, bvult, bvite,
+    bv, bvvar, bvadd, bvsub, bvmul, bvand, bvor, bvxor, bvxnor, bvnot,
+    bvneg, bveq, bvne, bvult, bvule, bvugt, bvuge, bvslt, bvsle, bvsgt,
+    bvsge, bvite, bvshl, bvlshr, bvashr, bvconcat, bvextract, bvredand,
+    bvredor, zero_extend,
 )
-from repro.bv.eval import evaluate
+from repro.bv.bitblast import BitBlaster
+from repro.bv.bitsim import PackedEvaluator, pack_assignments, unpack_lane
+from repro.bv.eval import evaluate, var_widths
 from repro.engine.backends import backend_by_name
 from repro.sat.cnf import CNF
 from repro.smt.cegis import Obligation, synthesize
@@ -48,6 +56,7 @@ FUZZ_SEED = int(os.environ.get("LAKEROAD_FUZZ_SEED", "0"))
 CNF_CASES = int(os.environ.get("LAKEROAD_FUZZ_CNF_CASES", "120"))
 BV_CASES = int(os.environ.get("LAKEROAD_FUZZ_BV_CASES", "40"))
 CEGIS_CASES = int(os.environ.get("LAKEROAD_FUZZ_CEGIS_CASES", "18"))
+PACKED_CASES = int(os.environ.get("LAKEROAD_FUZZ_PACKED_CASES", "60"))
 
 #: Every default portfolio member plus the diversified CDCL configs.
 SOLVER_BACKENDS = ("cdcl", "cdcl-agile", "cdcl-stable", "cdcl-static", "dpll")
@@ -144,6 +153,64 @@ def _assignments(variables):
             assignment[name] = shift & ((1 << width) - 1)
             shift >>= width
         yield assignment
+
+
+_FULL_BINARY_OPS = (bvadd, bvsub, bvmul, bvand, bvor, bvxor, bvxnor,
+                    bvshl, bvlshr, bvashr)
+_FULL_PREDICATES = (bveq, bvne, bvult, bvule, bvugt, bvuge,
+                    bvslt, bvsle, bvsgt, bvsge)
+
+
+def _random_full_expr(rng: random.Random, variables, width: int, depth: int):
+    """Like :func:`_random_expr` but over the *complete* operator set —
+    shifts, signed compares, concat/extract, reductions — so the packed
+    evaluator's every kernel gets fuzzed, not just the CEGIS-friendly
+    subset.  Leaves prefer variables (adapting widths by extract /
+    zero-extension) so expressions rarely constant-fold away."""
+    if depth <= 0 or rng.random() < 0.2:
+        named = [name for name, w in variables.items() if w == width]
+        if named and rng.random() < 0.85:
+            return bvvar(rng.choice(named), width)
+        if variables and rng.random() < 0.8:
+            name = rng.choice(sorted(variables))
+            leaf = bvvar(name, variables[name])
+            if leaf.width > width:
+                return bvextract(width - 1, 0, leaf)
+            if leaf.width < width:
+                return zero_extend(leaf, width - leaf.width)
+            return leaf
+        return bv(rng.getrandbits(width), width)
+    roll = rng.random()
+    if width == 1 and roll < 0.3:
+        operand_width = rng.randint(1, 6)
+        if rng.random() < 0.4:
+            source = _random_full_expr(rng, variables, operand_width, depth - 1)
+            return rng.choice((bvredand, bvredor))(source)
+        return rng.choice(_FULL_PREDICATES)(
+            _random_full_expr(rng, variables, operand_width, depth - 1),
+            _random_full_expr(rng, variables, operand_width, depth - 1))
+    if roll < 0.12:
+        return rng.choice((bvnot, bvneg))(
+            _random_full_expr(rng, variables, width, depth - 1))
+    if roll < 0.24:
+        condition = _random_full_expr(rng, variables, 1, depth - 1)
+        return bvite(condition,
+                     _random_full_expr(rng, variables, width, depth - 1),
+                     _random_full_expr(rng, variables, width, depth - 1))
+    if roll < 0.34 and width >= 2:
+        low_width = rng.randint(1, width - 1)
+        return bvconcat(
+            _random_full_expr(rng, variables, width - low_width, depth - 1),
+            _random_full_expr(rng, variables, low_width, depth - 1))
+    if roll < 0.44:
+        source_width = width + rng.randint(0, 4)
+        lo = rng.randint(0, source_width - width)
+        return bvextract(lo + width - 1, lo,
+                         _random_full_expr(rng, variables, source_width,
+                                           depth - 1))
+    return rng.choice(_FULL_BINARY_OPS)(
+        _random_full_expr(rng, variables, width, depth - 1),
+        _random_full_expr(rng, variables, width, depth - 1))
 
 
 # --------------------------------------------------------------------------- #
@@ -262,7 +329,68 @@ class TestReductionDifferential:
 
 
 # --------------------------------------------------------------------------- #
-# (d) CEGIS differential: four mode combinations vs brute force
+# (d) Packed-evaluation differential: PackedEvaluator vs scalar evaluate
+# --------------------------------------------------------------------------- #
+class TestPackedDifferential:
+    def test_packed_evaluator_matches_scalar_lane_by_lane(self):
+        constant_only = 0
+        for index in range(PACKED_CASES):
+            case_seed = _case_seed("packed", index)
+            rng = random.Random(case_seed)
+            variables = {f"v{i}": rng.randint(1, 9)
+                         for i in range(rng.randint(1, 4))}
+            width = rng.randint(1, 9)
+            expr = _random_full_expr(rng, variables, width,
+                                     rng.randint(2, 5))
+            widths = var_widths(expr)
+            if not widths:
+                constant_only += 1
+                continue
+            lanes = rng.choice((1, 3, 17, 64, 64, 100))
+            batch = [{name: rng.getrandbits(w)
+                      for name, w in widths.items()} for _ in range(lanes)]
+            words = PackedEvaluator(expr).evaluate_batch(batch)
+            assert len(words) == expr.width, _replay("packed", case_seed)
+            for lane, assignment in enumerate(batch):
+                packed_value = unpack_lane(words, lane)
+                scalar_value = evaluate(expr, assignment)
+                assert packed_value == scalar_value, \
+                    (f"lane {lane}: packed {packed_value} != scalar "
+                     f"{scalar_value} on {expr!r} under {assignment!r} "
+                     f"{_replay('packed', case_seed)}")
+        # The generator must mostly produce expressions with free
+        # variables, or the lane comparison is vacuous.
+        if PACKED_CASES >= 20:
+            assert constant_only < PACKED_CASES // 2, constant_only
+
+    def test_aig_simulate_packed_matches_scalar(self):
+        for index in range(max(1, PACKED_CASES // 3)):
+            case_seed = _case_seed("aig-packed", index)
+            rng = random.Random(case_seed)
+            variables = {f"v{i}": rng.randint(1, 5)
+                         for i in range(rng.randint(1, 3))}
+            expr = _random_full_expr(rng, variables, rng.randint(1, 5),
+                                     rng.randint(2, 4))
+            blaster = BitBlaster()
+            bits = blaster.blast(expr)
+            aig = blaster.aig
+            lanes = rng.choice((1, 17, 64))
+            patterns = [{name: rng.getrandbits(1) for name in aig.inputs}
+                        for _ in range(lanes)]
+            input_words = {
+                name: sum(patterns[i][name] << i for i in range(lanes))
+                for name in aig.inputs
+            }
+            packed = aig.simulate_packed(input_words, bits, lanes=lanes)
+            for i, pattern in enumerate(patterns):
+                scalar = aig.simulate(pattern, bits)
+                assert [(word >> i) & 1 for word in packed] == scalar, \
+                    (f"pattern {i} diverged on {expr!r} "
+                     f"{_replay('aig-packed', case_seed)}")
+
+
+# --------------------------------------------------------------------------- #
+# (e) CEGIS differential: four mode combinations vs brute force
 # --------------------------------------------------------------------------- #
 class TestCegisDifferential:
     def test_mode_combinations_agree_and_match_brute_force(self):
