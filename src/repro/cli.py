@@ -27,7 +27,8 @@ from repro.arch import available_architectures
 from repro.core.templates import available_templates
 from repro.engine.session import MappingSession
 
-__all__ = ["main", "build_parser", "build_sweep_parser", "build_bench_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser", "build_bench_parser",
+           "build_serve_parser", "build_request_parser"]
 
 _PORTFOLIO_KINDS = ("thread", "process", "sequential")
 
@@ -166,6 +167,90 @@ def build_bench_parser() -> argparse.ArgumentParser:
                              "measurement (default: 4096)")
     parser.add_argument("--output-dir", default=".",
                         help="directory for BENCH_<rev>.json (default: .)")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the serve-throughput section")
+    parser.add_argument("--serve-requests", type=int, default=32,
+                        help="warm-burst request count for the serve section "
+                             "(default: 32)")
+    parser.add_argument("--serve-workers", type=int, default=2,
+                        help="service worker processes for the serve section "
+                             "(default: 2)")
+    parser.add_argument("--serve-cold-requests", type=int, default=4,
+                        help="subprocess cold-start runs for the serve "
+                             "baseline (default: 4)")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD.json", "NEW.json"),
+                        default=None,
+                        help="compare two BENCH_<rev>.json snapshots instead "
+                             "of running the bench; exits nonzero on a "
+                             "regression beyond the per-metric thresholds")
+    parser.add_argument("--threshold", action="append", default=None,
+                        metavar="METRIC=FRACTION",
+                        help="override a diff threshold, e.g. "
+                             "serve.speedup_vs_cold=0.2 (repeatable; run "
+                             "--diff with an unknown metric to list them)")
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` subcommand parser: the warm solver-worker pool."""
+    from repro.engine.service import DEFAULT_SOCKET
+
+    parser = argparse.ArgumentParser(
+        prog="lakeroad serve",
+        description="Run the long-lived mapping service: a pool of worker "
+                    "processes with warm sessions behind a deduplicating, "
+                    "caching, affinity-routing front door on a unix socket. "
+                    "Query it with 'lakeroad request'; stop it with "
+                    "SIGINT/SIGTERM (in-flight requests drain first).")
+    parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help=f"unix socket path (default: {DEFAULT_SOCKET})")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="solver worker processes (default: 2)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent synthesis cache shared by the "
+                             "workers and the front door (default: in-memory)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable synthesis caching (dedup still applies)")
+    parser.add_argument("--portfolio", default="thread", choices=_PORTFOLIO_KINDS,
+                        help="SAT racing style inside each worker (default: thread)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="incremental CEGIS inside each worker session")
+    parser.add_argument("--incremental-verify", action="store_true",
+                        help="incremental verification inside each worker session")
+    parser.add_argument("--probes", type=int, default=32, dest="probes",
+                        help="random-probe budget inside each worker (default: 32)")
+    return parser
+
+
+def build_request_parser() -> argparse.ArgumentParser:
+    """The ``request`` subcommand parser: query a running service."""
+    from repro.engine.service import DEFAULT_SOCKET
+
+    parser = argparse.ArgumentParser(
+        prog="lakeroad request",
+        description="Send one map request to a running 'lakeroad serve' "
+                    "and print the MappingRecord as JSON. Exit codes mirror "
+                    "'lakeroad map': 0 success, 2 unsat, 3 timeout.")
+    parser.add_argument("verilog", help="behavioral Verilog file to map")
+    parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help=f"unix socket path (default: {DEFAULT_SOCKET})")
+    parser.add_argument("--template", default="dsp", choices=available_templates(),
+                        help="sketch template to use (default: dsp)")
+    parser.add_argument("--arch-desc", default="xilinx-ultrascale-plus",
+                        help="architecture description name "
+                             f"(shipped: {', '.join(available_architectures())})")
+    parser.add_argument("--module", default=None,
+                        help="module name if the file has several")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="synthesis timeout in seconds (default: "
+                             "per-architecture)")
+    parser.add_argument("--extra-cycles", type=int, default=1,
+                        help="extra clock cycles of bounded model checking "
+                             "(default: 1)")
+    parser.add_argument("--validate", action="store_true",
+                        help="simulation-validate the mapped design")
+    parser.add_argument("--stats", action="store_true",
+                        help="also print the service's front-door statistics")
     return parser
 
 
@@ -198,6 +283,10 @@ def main(argv=None) -> int:
         return _main_cache(argv[1:])
     if argv and argv[0] == "bench":
         return _main_bench(argv[1:])
+    if argv and argv[0] == "serve":
+        return _main_serve(argv[1:])
+    if argv and argv[0] == "request":
+        return _main_request(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     return _main_map(argv)
@@ -286,8 +375,38 @@ def _main_map(argv) -> int:
 # --------------------------------------------------------------------------- #
 # lakeroad sweep
 # --------------------------------------------------------------------------- #
+def _install_sigterm_as_interrupt():
+    """Route SIGTERM through KeyboardInterrupt so `kill` gets the same
+    graceful drain as Ctrl-C.  Returns the previous handler (restore it when
+    done); a no-op outside the main thread or on platforms without SIGTERM."""
+    import signal as signal_mod
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        return signal_mod.signal(signal_mod.SIGTERM, _raise_interrupt)
+    except (OSError, ValueError):  # pragma: no cover - exotic platforms
+        return None
+
+
+def _restore_sigterm(previous) -> None:
+    import signal as signal_mod
+
+    if previous is None:
+        return
+    try:
+        signal_mod.signal(signal_mod.SIGTERM, previous)
+    except (OSError, ValueError):  # pragma: no cover
+        pass
+
+
 def _main_sweep(argv) -> int:
-    from repro.engine.parallel import SessionSpec, run_sweep
+    from repro.engine.parallel import SessionSpec, SweepInterrupted, run_sweep
     from repro.harness.runner import ExperimentConfig, records_to_jsonl
     from repro.workloads.generator import (
         ARCHITECTURE_WORKLOADS,
@@ -330,8 +449,21 @@ def _main_sweep(argv) -> int:
                        incremental_verify=args.incremental_verify,
                        random_probes=args.probes)
 
-    result = run_sweep(benchmarks, config, workers=args.workers,
-                       session_spec=spec)
+    interrupted = False
+    previous_handler = _install_sigterm_as_interrupt()
+    try:
+        result = run_sweep(benchmarks, config, workers=args.workers,
+                           session_spec=spec)
+    except SweepInterrupted as stop:
+        # Drained shutdown: workers finished their in-flight benchmark and
+        # flushed their caches; report what completed and exit 130 (the
+        # conventional interrupted-by-signal code).
+        interrupted = True
+        result = stop.result
+        print(f"sweep interrupted — drained {len(result.records)}/"
+              f"{len(benchmarks)} completed record(s)", file=sys.stderr)
+    finally:
+        _restore_sigterm(previous_handler)
 
     outcomes = result.outcome_counts()
     print(f"swept {len(result.records)} benchmarks over "
@@ -364,6 +496,7 @@ def _main_sweep(argv) -> int:
     if args.stats_json:
         summary = {
             "total": len(result.records),
+            "interrupted": interrupted,
             "workers": result.workers,
             "architectures": architectures,
             "outcomes": outcomes,
@@ -387,17 +520,53 @@ def _main_sweep(argv) -> int:
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were
     # unmappable; only an empty record set is an error (caught above).
-    return 0
+    return 130 if interrupted else 0
 
 
 # --------------------------------------------------------------------------- #
 # lakeroad bench
 # --------------------------------------------------------------------------- #
+def _main_bench_diff(args, parser) -> int:
+    from repro.harness.bench import DEFAULT_DIFF_THRESHOLDS, diff_snapshots
+
+    thresholds = dict(DEFAULT_DIFF_THRESHOLDS)
+    for override in args.threshold or ():
+        metric, _, fraction = override.partition("=")
+        if metric not in thresholds:
+            parser.error(f"unknown diff metric {metric!r}; known metrics: "
+                         f"{', '.join(sorted(thresholds))}")
+        try:
+            allowed = float(fraction)
+        except ValueError:
+            parser.error(f"--threshold needs METRIC=FRACTION, got {override!r}")
+        thresholds[metric] = (thresholds[metric][0], allowed)
+
+    old_path, new_path = args.diff
+    try:
+        old = json.loads(Path(old_path).read_text())
+        new = json.loads(Path(new_path).read_text())
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot read snapshot: {exc}")
+
+    results = diff_snapshots(old, new, thresholds)
+    regressions = [entry for entry in results if entry["regressed"]]
+    for entry in results:
+        marker = "REGRESSED" if entry["regressed"] else "ok"
+        print(f"{entry['metric']}: {entry['old']:.4g} -> {entry['new']:.4g} "
+              f"({entry['change']:+.1%}, {entry['direction']} is better, "
+              f"allowed {entry['allowed']:.0%}) {marker}")
+    print(f"{len(results)} metric(s) compared, "
+          f"{len(regressions)} regression(s)", file=sys.stderr)
+    return 1 if regressions else 0
+
+
 def _main_bench(argv) -> int:
     from repro.harness.bench import run_bench, write_snapshot
 
     parser = build_bench_parser()
     args = parser.parse_args(argv)
+    if args.diff is not None:
+        return _main_bench_diff(args, parser)
     if args.probes < 0:
         parser.error("--probes must be non-negative")
 
@@ -405,7 +574,11 @@ def _main_bench(argv) -> int:
                          count=args.count, seed=args.seed,
                          max_width=args.max_width, template=args.template,
                          random_probes=args.probes,
-                         throughput_assignments=args.throughput_assignments)
+                         throughput_assignments=args.throughput_assignments,
+                         serve=not args.no_serve,
+                         serve_requests=args.serve_requests,
+                         serve_workers=args.serve_workers,
+                         serve_cold_requests=args.serve_cold_requests)
     path = write_snapshot(snapshot, args.output_dir)
 
     totals = snapshot["totals"]
@@ -425,8 +598,102 @@ def _main_bench(argv) -> int:
           f"{throughput['packed_assignments_per_second']:,.0f}/s packed vs "
           f"{throughput['scalar_assignments_per_second']:,.0f}/s scalar "
           f"({throughput['speedup']:.1f}x)", file=sys.stderr)
+    serve = snapshot.get("serve")
+    if serve is not None:
+        warm = serve["serve_warm"]
+        print(f"serve: {warm['requests_per_second']:,.0f} req/s warm vs "
+              f"{serve['cold_process']['requests_per_second']:.2f} req/s "
+              f"cold-start ({serve['speedup_vs_cold']:.1f}x), "
+              f"p50 {warm['p50_latency_seconds'] * 1e3:.1f}ms / "
+              f"p95 {warm['p95_latency_seconds'] * 1e3:.1f}ms, "
+              f"{serve['warm_hit_rate']:.0%} warm hits", file=sys.stderr)
     print(str(path))
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# lakeroad serve / request
+# --------------------------------------------------------------------------- #
+def _main_serve(argv) -> int:
+    from repro.engine.parallel import SessionSpec
+    from repro.engine.service import SolverService, run_server
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache and --cache-dir are contradictory: a "
+                     "disabled cache never persists anything")
+    if args.probes < 0:
+        parser.error("--probes must be non-negative")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
+                       enable_cache=not args.no_cache,
+                       incremental=args.incremental,
+                       incremental_verify=args.incremental_verify,
+                       random_probes=args.probes)
+    service = SolverService(spec, workers=args.workers)
+    print(f"lakeroad serve: {args.workers} warm worker(s) on {args.socket} "
+          "(SIGINT/SIGTERM drains and exits)", file=sys.stderr)
+    try:
+        run_server(service, args.socket)
+    finally:
+        service.close()
+        stats = service.stats()
+        print(f"served {stats['requests']} request(s): "
+              f"{stats['coalesced']} coalesced, "
+              f"{stats['front_memory_hits'] + stats['front_disk_hits']} "
+              f"front-door hit(s), {stats['worker_cache_hits']} worker "
+              f"cache hit(s), {stats['worker_restarts']} worker restart(s) "
+              f"({stats['warm_hit_rate']:.0%} warm)", file=sys.stderr)
+    return 0
+
+
+def _main_request(argv) -> int:
+    from repro.engine.service import ServiceClient
+
+    parser = build_request_parser()
+    args = parser.parse_args(argv)
+    source_path = Path(args.verilog)
+    if not source_path.exists():
+        parser.error(f"no such file: {args.verilog}")
+
+    payload = {
+        "op": "map",
+        "verilog": source_path.read_text(),
+        "template": args.template,
+        "arch": args.arch_desc,
+        "extra_cycles": args.extra_cycles,
+        "validate": args.validate,
+    }
+    if args.module:
+        payload["module"] = args.module
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+
+    try:
+        with ServiceClient(args.socket, connect_timeout=5.0) as client:
+            response = client.request(payload, timeout=600.0)
+            stats = client.stats() if args.stats else None
+    except (OSError, ConnectionError) as exc:
+        print(f"cannot reach a lakeroad serve on {args.socket}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    if not response.get("ok"):
+        print(f"request failed: {response.get('error')}", file=sys.stderr)
+        return 1
+    record = response["record"]
+    print(json.dumps(record, indent=2))
+    if stats is not None:
+        print(f"service: {json.dumps(stats)}", file=sys.stderr)
+    outcome = record.get("outcome")
+    if outcome == "success":
+        return 0
+    if outcome == "unsat":
+        return 2
+    return 3
 
 
 # --------------------------------------------------------------------------- #

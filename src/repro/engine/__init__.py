@@ -13,6 +13,9 @@
   whole map-one-design lifecycle (§2.2) and the shared state above.
 * :mod:`repro.engine.parallel` -- sharded sweeps over worker processes,
   each owning its own session.
+* :mod:`repro.engine.service`  -- the long-lived warm worker pool behind
+  ``lakeroad serve``: request dedup, front-door caching, affinity routing
+  and crash recovery over persistent sessions.
 
 Everything except ``budget`` and ``backends`` is imported lazily: the
 cache, session and parallel layers depend on the core/synthesis/harness
@@ -61,6 +64,11 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "run_lakeroad_parallel",
+    "MapRequest",
+    "SolverService",
+    "ServiceClient",
+    "ServerThread",
+    "run_server",
 ]
 
 _CACHE_EXPORTS = ("SynthesisCache", "program_fingerprint")
@@ -69,6 +77,8 @@ _SESSION_EXPORTS = ("LakeroadResult", "MappingSession", "default_session",
                     "reset_default_session")
 _PARALLEL_EXPORTS = ("SessionSpec", "SweepResult", "run_sweep",
                      "run_lakeroad_parallel")
+_SERVICE_EXPORTS = ("MapRequest", "SolverService", "ServiceClient",
+                    "ServerThread", "run_server")
 
 
 def __getattr__(name):
@@ -88,4 +98,8 @@ def __getattr__(name):
         from repro.engine import parallel
 
         return getattr(parallel, name)
+    if name in _SERVICE_EXPORTS:
+        from repro.engine import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

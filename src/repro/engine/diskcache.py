@@ -64,18 +64,55 @@ def canonical_key(key: Hashable) -> str:
     return json.dumps(key, sort_keys=True, default=repr)
 
 
+#: Memoized read-only peek connections, keyed by database path.  The peek
+#: helpers run on hot inspection paths (``lakeroad cache stats``, the
+#: service front door's health checks) and used to open a fresh sqlite
+#: connection per call; one per process is enough.  Entries carry the
+#: opening pid and the file identity so a fork or a replaced database
+#: (quarantine, ``clear``) invalidates the handle instead of serving a
+#: stale snapshot.
+_PEEK_LOCK = threading.Lock()
+_PEEK_CONNECTIONS: Dict[str, tuple] = {}
+
+
+def _peek_connection(path: Path) -> Optional[sqlite3.Connection]:
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    identity = (stat.st_dev, stat.st_ino)
+    key = str(path)
+    with _PEEK_LOCK:
+        entry = _PEEK_CONNECTIONS.get(key)
+        if entry is not None:
+            pid, cached_identity, connection = entry
+            if pid == os.getpid() and cached_identity == identity:
+                return connection
+            # Stale: forked child (never close the parent's handle) or the
+            # file was replaced underneath us.
+            if pid == os.getpid():
+                try:
+                    connection.close()
+                except sqlite3.Error:
+                    pass
+            del _PEEK_CONNECTIONS[key]
+        try:
+            connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
+                                         timeout=5.0,
+                                         check_same_thread=False)
+        except sqlite3.Error:
+            return None
+        _PEEK_CONNECTIONS[key] = (os.getpid(), identity, connection)
+        return connection
+
+
 def peek_schema_version(directory, db_name: str = DB_NAME) -> Optional[int]:
     """Read a cache database's schema version without opening it for
     writing (and therefore without triggering the schema migration, which
     drops unreadable entries).  Returns None if the database is missing,
     unreadable, or carries no version stamp."""
-    path = Path(directory) / db_name
-    if not path.exists():
-        return None
-    try:
-        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
-                                     timeout=5.0)
-    except sqlite3.Error:
+    connection = _peek_connection(Path(directory) / db_name)
+    if connection is None:
         return None
     try:
         row = connection.execute(
@@ -83,29 +120,20 @@ def peek_schema_version(directory, db_name: str = DB_NAME) -> Optional[int]:
         return int(row[0]) if row is not None else None
     except (sqlite3.Error, ValueError):
         return None
-    finally:
-        connection.close()
 
 
 def peek_entry_count(directory, db_name: str = DB_NAME) -> Optional[int]:
     """Count a cache database's entries without opening it for writing
     (works on any schema version that has an ``entries`` table).  Returns
     None if the database is missing or unreadable."""
-    path = Path(directory) / db_name
-    if not path.exists():
-        return None
-    try:
-        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
-                                     timeout=5.0)
-    except sqlite3.Error:
+    connection = _peek_connection(Path(directory) / db_name)
+    if connection is None:
         return None
     try:
         row = connection.execute("SELECT COUNT(*) FROM entries").fetchone()
         return int(row[0])
     except sqlite3.Error:
         return None
-    finally:
-        connection.close()
 
 
 class DiskSynthesisCache:
@@ -128,6 +156,11 @@ class DiskSynthesisCache:
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._connection: Optional[sqlite3.Connection] = None
+        #: The process that owns ``_connection``.  sqlite handles must not
+        #: be used across a fork (the service and sweep pools fork with a
+        #: session — and therefore a cache — already open), so every
+        #: operation checks the pid and reopens in the child.
+        self._pid = os.getpid()
         self.hits = 0
         self.misses = 0
         self.errors = 0
@@ -196,6 +229,31 @@ class DiskSynthesisCache:
             raise
         return connection
 
+    def _guard_fork(self) -> None:
+        """Reopen in a forked child (called with the lock held).
+
+        The inherited connection is the parent's: it is dropped without
+        ``close()`` (closing would tear down sqlite state the parent is
+        still using — the leaked fd is the lesser evil).  The buffered
+        hit/miss/recency counters were duplicated by the fork and will be
+        flushed by the parent, so the child resets them rather than
+        double-counting.
+        """
+        if self._pid == os.getpid():
+            return
+        self._connection = None
+        self._dirty_recency.clear()
+        self._unflushed_hits = 0
+        self._unflushed_misses = 0
+        self._pid = os.getpid()
+        self._open()
+        try:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM entries").fetchone()
+            self._entry_estimate = int(row[0])
+        except (sqlite3.Error, AttributeError):
+            self._entry_estimate = 0
+
     def _quarantine(self) -> None:
         """Move a damaged database aside and warn; the cache starts fresh."""
         if self._connection is not None:
@@ -224,6 +282,15 @@ class DiskSynthesisCache:
 
     def close(self) -> None:
         with self._lock:
+            if self._pid != os.getpid():
+                # A forked child closing an inherited cache: the connection
+                # and the buffered counters belong to the parent — drop
+                # them, flush nothing.
+                self._connection = None
+                self._dirty_recency.clear()
+                self._unflushed_hits = 0
+                self._unflushed_misses = 0
+                return
             self._flush_recency()
             if self._connection is not None:
                 try:
@@ -238,6 +305,7 @@ class DiskSynthesisCache:
     def get(self, key: Hashable) -> Optional[Any]:
         text_key = canonical_key(key)
         with self._lock:
+            self._guard_fork()
             if self._connection is None:
                 self.misses += 1
                 self._unflushed_misses += 1
@@ -318,6 +386,7 @@ class DiskSynthesisCache:
         database (persisted in the meta table), including this instance's
         not-yet-flushed counts."""
         with self._lock:
+            self._guard_fork()
             # Snapshot the unflushed counts under the lock: a concurrent
             # flush zeroes them after folding them into the meta table, and
             # an outside-the-lock snapshot would count those twice.
@@ -346,6 +415,7 @@ class DiskSynthesisCache:
             self.errors += 1
             return
         with self._lock:
+            self._guard_fork()
             if self._connection is None:
                 return
             self._flush_recency()
@@ -395,6 +465,7 @@ class DiskSynthesisCache:
         LRU-evict down to ``max_entries``.  Returns the number removed."""
         removed = 0
         with self._lock:
+            self._guard_fork()
             if self._connection is None:
                 return 0
             self._flush_recency()
@@ -435,6 +506,7 @@ class DiskSynthesisCache:
 
     def clear(self) -> None:
         with self._lock:
+            self._guard_fork()
             self.hits = 0
             self.misses = 0
             self.errors = 0
@@ -455,6 +527,7 @@ class DiskSynthesisCache:
 
     def _count_entries(self) -> int:
         with self._lock:
+            self._guard_fork()
             if self._connection is None:
                 return 0
             try:

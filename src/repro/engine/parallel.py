@@ -26,6 +26,7 @@ other's synthesis results.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -38,7 +39,24 @@ from repro.harness.runner import (
 )
 from repro.workloads.generator import Microbenchmark
 
-__all__ = ["SessionSpec", "SweepResult", "run_sweep", "run_lakeroad_parallel"]
+__all__ = ["SessionSpec", "SweepResult", "SweepInterrupted", "run_sweep",
+           "run_lakeroad_parallel"]
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep was interrupted (SIGINT/SIGTERM) but drained cleanly.
+
+    ``result`` holds the completed records (in input order) and the
+    statistics gathered before the interrupt: workers finished their
+    in-flight benchmark, closed their sessions (flushing disk-cache
+    lifetime counters) and exited — no orphan processes, no quarantined
+    databases, just a shorter record list.
+    """
+
+    def __init__(self, result: "SweepResult") -> None:
+        super().__init__(
+            f"sweep interrupted after {len(result.records)} record(s)")
+        self.result = result
 
 
 @dataclass(frozen=True)
@@ -174,17 +192,42 @@ class SweepResult:
         return dict(counts)
 
 
+#: Cooperative stop flag for graceful sweep shutdown.  Created in the
+#: parent before the pool forks and inherited by the workers (it never
+#: crosses a pickle boundary, so it stays compatible with executor-task
+#: pickling); ``None`` on platforms without fork, where interrupts fall
+#: back to the executor's own teardown.
+_STOP_EVENT = None
+
+
+def _worker_initializer() -> None:
+    """Pool workers ignore SIGINT/SIGTERM: the parent coordinates shutdown
+    via :data:`_STOP_EVENT`, and a signal delivered mid-sqlite-write would
+    quarantine the shared synthesis cache (``*.corrupt``)."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - exotic platforms
+        pass
+
+
 def _run_shard(spec: SessionSpec, config: ExperimentConfig,
                items: Sequence[Tuple[int, Microbenchmark]]) -> dict:
     """Worker body: map one shard on a private session.
 
     Returns plain dicts only — the payload crosses the process boundary, so
     records ship in their :meth:`MappingRecord.to_dict` wire format keyed
-    by original input index.
+    by original input index.  If the parent requests a stop the shard
+    drains: the in-flight benchmark finishes, the rest are skipped, and the
+    ``with`` exit closes the session (flushing cache counters) as usual.
     """
     with spec.build() as session:
-        records = [(index, map_benchmark(session, benchmark, config).to_dict())
-                   for index, benchmark in items]
+        records = []
+        for index, benchmark in items:
+            if _STOP_EVENT is not None and _STOP_EVENT.is_set():
+                break
+            records.append((index,
+                            map_benchmark(session, benchmark, config).to_dict()))
         return {
             "records": records,
             "cache": dict(session.cache_stats()),
@@ -238,8 +281,19 @@ def run_sweep(benchmarks: Sequence[Microbenchmark],
         if own_session:
             session = spec.build()
         try:
-            records = [map_benchmark(session, benchmark, config)
-                       for benchmark in benchmarks]
+            records = []
+            try:
+                for benchmark in benchmarks:
+                    records.append(map_benchmark(session, benchmark, config))
+            except KeyboardInterrupt:
+                # Drain semantics for the serial case: keep what completed;
+                # the finally below closes the session, flushing the disk
+                # cache's lifetime counters.
+                raise SweepInterrupted(SweepResult(
+                    records=records,
+                    cache_stats=dict(session.cache_stats()),
+                    portfolio_wins=dict(session.portfolio_wins()),
+                    workers=1)) from None
             return SweepResult(records=records,
                                cache_stats=dict(session.cache_stats()),
                                portfolio_wins=dict(session.portfolio_wins()),
@@ -260,16 +314,48 @@ def run_sweep(benchmarks: Sequence[Microbenchmark],
     merged: List[Optional[MappingRecord]] = [None] * len(benchmarks)
     cache_totals: Counter = Counter()
     win_totals: Counter = Counter()
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=_pool_context()) as pool:
-        futures = [pool.submit(_run_shard, spec, config, shard)
-                   for shard in shards]
-        for future in futures:
-            payload = future.result()
-            for index, data in payload["records"]:
-                merged[index] = MappingRecord.from_dict(data)
-            cache_totals.update(payload["cache"])
-            win_totals.update(payload["wins"])
+
+    def _merge(payload: dict) -> None:
+        for index, data in payload["records"]:
+            merged[index] = MappingRecord.from_dict(data)
+        cache_totals.update(payload["cache"])
+        win_totals.update(payload["wins"])
+
+    global _STOP_EVENT
+    context = _pool_context()
+    stop_event = context.Event() if context is not None else None
+    _STOP_EVENT = stop_event
+    interrupted = False
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                 initializer=_worker_initializer) as pool:
+            futures = [pool.submit(_run_shard, spec, config, shard)
+                       for shard in shards]
+            try:
+                for future in futures:
+                    _merge(future.result())
+            except KeyboardInterrupt:
+                # Graceful drain: tell workers to stop after their current
+                # item, then collect every shard's partial payload.  The
+                # workers ignore the terminal's SIGINT, so they are still
+                # alive to finish and flush their sessions.
+                interrupted = True
+                if stop_event is not None:
+                    stop_event.set()
+                for future in futures:
+                    try:
+                        _merge(future.result(timeout=600))
+                    except Exception:  # noqa: BLE001 - partial drain
+                        pass
+    finally:
+        _STOP_EVENT = None
+
+    if interrupted:
+        raise SweepInterrupted(SweepResult(
+            records=[record for record in merged if record is not None],
+            cache_stats=dict(cache_totals),
+            portfolio_wins=dict(win_totals),
+            workers=workers))
 
     assert all(record is not None for record in merged), \
         "sharding lost records (worker returned a partial shard)"

@@ -1,0 +1,1033 @@
+"""Lakeroad-as-a-service: a warm solver-worker pool behind a batching,
+deduplicating front door.
+
+Every ``lakeroad map`` invocation pays import + vendor-library load +
+solver cold-start — fine for one hard instance, fatal for heavy traffic
+over many *small* queries.  This module keeps the expensive state alive:
+
+* **Worker pool** — a fixed set of long-lived worker processes, each
+  holding one warm :class:`~repro.engine.session.MappingSession` built from
+  a pickled :class:`~repro.engine.parallel.SessionSpec` (the same recipe
+  sharded sweeps use).  The session — its in-memory LRU, primitive
+  library, solver portfolio and the persistent-solver machinery behind the
+  ``incremental``/``incremental_verify`` modes — survives across requests,
+  so repeat queries for a design family skip the cold start entirely.
+* **Front door** — :class:`SolverService`, a single dispatcher thread
+  multiplexing worker pipes through a ``selectors`` loop (no threads per
+  request, no new dependencies).  Before anything reaches a worker it is
+
+  - **coalesced**: two concurrent requests with the same canonical
+    synthesis-cache key (see
+    :func:`repro.engine.session.synthesis_cache_key`) share one solve and
+    each get their own reply;
+  - **cache-checked**: an in-memory result cache, tiered over the
+    persistent :class:`~repro.engine.diskcache.DiskSynthesisCache` when the
+    spec has a ``cache_dir``, answers repeats without any IPC;
+  - **affinity-routed**: requests route by design fingerprint, so a design
+    family keeps hitting the worker whose warm session already holds its
+    results (new fingerprints go to the least-loaded worker);
+  - **crash-isolated**: a dead worker is restarted and its queued and
+    in-flight requests are re-dispatched — callers never see the crash.
+
+* **Socket layer** — an asyncio unix-domain-socket server speaking
+  newline-delimited JSON (:func:`run_server`, the ``lakeroad serve``
+  subcommand) plus a small pipelining client (:class:`ServiceClient`, the
+  ``lakeroad request`` subcommand).
+
+**Determinism contract.**  Workers execute the same per-request unit of
+work as the serial sweep (:func:`repro.harness.runner.map_benchmark`'s
+body), the front door derives byte-identical cache keys via
+:func:`synthesis_cache_key`, and shared results are re-stamped with each
+requester's benchmark metadata exactly as the session cache does — so
+served records equal serial ``run_sweep`` records (modulo wall-clock
+fields) in all four ``incremental`` × ``incremental_verify`` modes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+import warnings
+from collections import Counter, OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.budget import TIMEOUT as TIMEOUT_STATUS
+from repro.engine.budget import Budget
+from repro.engine.cache import SynthesisCache
+from repro.engine.parallel import SessionSpec
+from repro.harness.runner import (
+    ExperimentConfig,
+    MappingRecord,
+    record_from_result,
+)
+
+__all__ = ["MapRequest", "SolverService", "ServiceClient", "ServerThread",
+           "run_server", "DEFAULT_SOCKET"]
+
+#: Default unix-socket path for ``lakeroad serve`` / ``lakeroad request``.
+DEFAULT_SOCKET = "/tmp/lakeroad.sock"
+
+#: Per-worker cap on requests written to the pipe but not yet answered;
+#: bounds pipe-buffer usage so the dispatcher's sends never block.
+MAX_PIPE_BACKLOG = 16
+
+
+# --------------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MapRequest:
+    """One picklable map request plus the metadata its record should carry.
+
+    The solving fields (``verilog`` … ``use_cache``) determine the result;
+    the metadata fields (``benchmark`` … ``signed``) only label the
+    returned :class:`~repro.harness.runner.MappingRecord`, so two requests
+    that differ only in metadata legitimately share one solve.
+    """
+
+    verilog: str
+    template: str = "dsp"
+    arch: str = "xilinx-ultrascale-plus"
+    module_name: Optional[str] = None
+    timeout_seconds: Optional[float] = None
+    extra_cycles: int = 1
+    validate: bool = False
+    use_cache: Optional[bool] = None
+    #: Record metadata (benchmark-sourced requests carry the sweep labels;
+    #: raw verilog requests leave them defaulted and get the module name).
+    benchmark: str = ""
+    form: str = ""
+    width: int = 0
+    stages: int = 0
+    signed: bool = False
+
+    @classmethod
+    def from_benchmark(cls, benchmark,
+                       config: Optional[ExperimentConfig] = None
+                       ) -> "MapRequest":
+        """The request :func:`repro.harness.runner.map_benchmark` would run."""
+        config = config or ExperimentConfig()
+        return cls(verilog=benchmark.verilog,
+                   template=config.template,
+                   arch=benchmark.architecture,
+                   timeout_seconds=config.timeout_for(benchmark.architecture),
+                   extra_cycles=config.extra_cycles,
+                   validate=config.validate,
+                   use_cache=config.use_cache,
+                   benchmark=benchmark.name,
+                   form=benchmark.form.name,
+                   width=benchmark.width,
+                   stages=benchmark.stages,
+                   signed=benchmark.signed)
+
+
+def _serve_request(session, request: MapRequest) -> MappingRecord:
+    """The worker-side unit of work (the body of ``map_benchmark``)."""
+    from repro.hdl.behavioral import verilog_to_behavioral
+
+    design = verilog_to_behavioral(request.verilog, request.module_name)
+    result = session.map_design(
+        design,
+        template=request.template,
+        arch=request.arch,
+        timeout_seconds=request.timeout_seconds,
+        extra_cycles=request.extra_cycles,
+        validate=request.validate,
+        use_cache=request.use_cache,
+    )
+    return record_from_result(result,
+                              architecture=request.arch,
+                              benchmark=request.benchmark or design.name,
+                              form=request.form,
+                              width=request.width or design.output_width,
+                              stages=request.stages,
+                              signed=request.signed)
+
+
+def _restamp(payload: Dict[str, Any], request: MapRequest,
+             cache_hit: bool, time_seconds: float) -> MappingRecord:
+    """A shared result payload re-labelled for one requester.
+
+    Mirrors what the session cache does on a hit: the outcome-derived
+    fields (status, resources, solver telemetry) are replayed verbatim;
+    the benchmark metadata and the wall-clock fields belong to the
+    requester.
+    """
+    record = MappingRecord.from_dict(payload)
+    return replace(record,
+                   benchmark=request.benchmark or record.benchmark,
+                   form=request.form if request.benchmark else record.form,
+                   width=request.width if request.benchmark else record.width,
+                   stages=request.stages if request.benchmark else record.stages,
+                   signed=request.signed if request.benchmark else record.signed,
+                   cache_hit=cache_hit,
+                   time_seconds=time_seconds)
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+def _worker_main(spec: SessionSpec, conn) -> None:
+    """Worker body: serve requests on one warm session until told to stop.
+
+    The parent coordinates shutdown (and handles the terminal's signals),
+    so workers ignore SIGINT/SIGTERM — a Ctrl-C must never kill a worker
+    mid-sqlite-write and quarantine the shared cache.  The ``with`` block
+    guarantees the session closes on every exit path, flushing the disk
+    cache's lifetime counters.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - exotic platforms
+        pass
+    try:
+        with spec.build() as session:
+            while True:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    return  # front door died; exit, closing the session
+                if message[0] == "stop":
+                    try:
+                        conn.send(("stats",
+                                   dict(session.cache_stats()),
+                                   dict(session.portfolio_wins())))
+                    except (BrokenPipeError, OSError):
+                        pass
+                    return
+                _, request_id, request = message
+                try:
+                    record = _serve_request(session, request)
+                    payload = ("result", request_id, record.to_dict())
+                except Exception as exc:  # noqa: BLE001 - crosses the pipe
+                    payload = ("error", request_id,
+                               f"{type(exc).__name__}: {exc}")
+                try:
+                    conn.send(payload)
+                except (BrokenPipeError, OSError):
+                    return
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _service_context():
+    """Prefer ``fork`` (cheap, inherits the warm interpreter)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class _Pending:
+    """One in-flight solve and every requester waiting on it."""
+
+    __slots__ = ("key", "request", "waiters", "affinity", "request_id",
+                 "submitted_at")
+
+    def __init__(self, key, request: MapRequest, affinity: str,
+                 request_id: int) -> None:
+        self.key = key
+        self.request = request
+        #: ``(future, request)`` pairs: coalesced duplicates may carry
+        #: different benchmark metadata (sign twins share a fingerprint),
+        #: so each waiter's record is stamped from its own request.
+        self.waiters: List[Tuple[Future, MapRequest]] = []
+        self.affinity = affinity
+        self.request_id = request_id
+        self.submitted_at = time.monotonic()
+
+
+class _WorkerHandle:
+    """A worker process, its pipe, and its share of the request queue."""
+
+    __slots__ = ("index", "process", "conn", "queue", "sent", "served")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        #: Assigned but not yet written to the pipe.
+        self.queue: Deque[_Pending] = deque()
+        #: Written to the pipe, awaiting a result (send order preserved so
+        #: a crash re-dispatches in the original order).
+        self.sent: "OrderedDict[int, _Pending]" = OrderedDict()
+        self.served = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + len(self.sent)
+
+
+class SolverService:
+    """The warm-pool front door: dedup, cache check, affinity, crash restart.
+
+    Thread-safe: ``submit`` may be called from any thread (the asyncio
+    socket layer calls it from executor threads); a single dispatcher
+    thread owns the worker pipes.  Close the service (or use it as a
+    context manager) to drain in-flight work, stop the workers cleanly and
+    collect their session statistics.
+    """
+
+    def __init__(self, spec: Optional[SessionSpec] = None, workers: int = 2,
+                 max_pipe_backlog: int = MAX_PIPE_BACKLOG) -> None:
+        if workers < 1:
+            raise ValueError("a service needs at least one worker")
+        self.spec = spec if spec is not None else SessionSpec()
+        self.workers = workers
+        self.max_pipe_backlog = max_pipe_backlog
+
+        self._lock = threading.Lock()
+        self._inflight: Dict[Any, _Pending] = {}
+        self._submissions: Deque[_Pending] = deque()
+        self._affinity: Dict[str, int] = {}
+        self._next_request_id = 0
+        self._closed = False
+        self._failed: Optional[str] = None
+        self._drain_deadline: Optional[float] = None
+        self._stats: Counter = Counter()
+        self._worker_cache_stats: Counter = Counter()
+        self._worker_portfolio_wins: Counter = Counter()
+        self._restarts_left = max(8, workers * 4)
+
+        # Front-door result cache: an in-memory payload LRU, falling
+        # through to the spec's persistent disk cache when one exists.  The
+        # disk tier is read-only here — workers already write through to it,
+        # and a second writer would double-write every entry.
+        self._front_cache: Optional[SynthesisCache] = None
+        self._disk = None
+        if self.spec.enable_cache:
+            self._front_cache = SynthesisCache()
+            if self.spec.cache_dir is not None:
+                from repro.engine.diskcache import DiskSynthesisCache
+
+                self._disk = DiskSynthesisCache(self.spec.cache_dir)
+        self._arch_names: Dict[str, str] = {}
+
+        self._selector = selectors.DefaultSelector()
+        self._waker_r, self._waker_w = os.pipe()
+        os.set_blocking(self._waker_r, False)
+        self._selector.register(self._waker_r, selectors.EVENT_READ,
+                                data=None)
+        self._pool: List[_WorkerHandle] = []
+        context = _service_context()
+        for index in range(workers):
+            handle = _WorkerHandle(index)
+            self._spawn(handle, context)
+            self._pool.append(handle)
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="lakeroad-service-dispatcher",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission (any thread)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: MapRequest) -> "Future[MappingRecord]":
+        """Submit one request; the future resolves to a MappingRecord."""
+        future: "Future[MappingRecord]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._failed is not None:
+                raise RuntimeError(f"service failed: {self._failed}")
+        try:
+            key, affinity = self._request_keys(request)
+        except Exception as exc:  # unparseable verilog, unknown arch, ...
+            future.set_exception(exc)
+            with self._lock:
+                self._stats["requests"] += 1
+                self._stats["errors"] += 1
+            return future
+        started = time.monotonic()
+        caching = self._front_cache is not None and request.use_cache is not False
+        with self._lock:
+            self._stats["requests"] += 1
+            pending = self._inflight.get(key)
+            if pending is not None:
+                pending.waiters.append((future, request))
+                self._stats["coalesced"] += 1
+                return future
+            if caching:
+                payload = self._cache_get(key)
+                if payload is not None:
+                    future.set_result(_restamp(
+                        payload, request, cache_hit=True,
+                        time_seconds=time.monotonic() - started))
+                    return future
+            self._next_request_id += 1
+            pending = _Pending(key, request, affinity, self._next_request_id)
+            pending.waiters.append((future, request))
+            self._inflight[key] = pending
+            self._submissions.append(pending)
+        self._wake()
+        return future
+
+    def map_benchmark(self, benchmark,
+                      config: Optional[ExperimentConfig] = None
+                      ) -> "Future[MappingRecord]":
+        return self.submit(MapRequest.from_benchmark(benchmark, config))
+
+    def map_many(self, benchmarks: Sequence,
+                 config: Optional[ExperimentConfig] = None
+                 ) -> List[MappingRecord]:
+        """Submit a batch concurrently; records come back in input order
+        (the served analogue of ``run_sweep``'s deterministic merge)."""
+        config = config or ExperimentConfig()
+        futures = [self.map_benchmark(benchmark, config)
+                   for benchmark in benchmarks]
+        return [future.result() for future in futures]
+
+    def _request_keys(self, request: MapRequest) -> Tuple[Any, str]:
+        """The dedup/cache key and the affinity key for one request.
+
+        Must match :meth:`MappingSession.map_design`'s derivation exactly
+        (both go through :func:`synthesis_cache_key`); the affinity key is
+        the design fingerprint, so a design family sticks to one worker.
+        """
+        from repro.engine.cache import program_fingerprint
+        from repro.engine.session import synthesis_cache_key
+        from repro.hdl.behavioral import verilog_to_behavioral
+
+        design = verilog_to_behavioral(request.verilog, request.module_name)
+        arch_name = self._arch_name(request.arch)
+        budget = Budget.for_architecture(arch_name,
+                                         override=request.timeout_seconds)
+        key = synthesis_cache_key(design, arch_name, request.template, budget,
+                                  request.extra_cycles, request.validate,
+                                  self.spec.random_probes)
+        return key, program_fingerprint(design.program)
+
+    def _arch_name(self, arch: str) -> str:
+        name = self._arch_names.get(arch)
+        if name is None:
+            from repro.arch import load_architecture
+
+            name = load_architecture(str(arch)).name
+            self._arch_names[arch] = name
+        return name
+
+    def _cache_get(self, key) -> Optional[Dict[str, Any]]:
+        """Front-door lookup (lock held): memory first, then the disk tier."""
+        payload = self._front_cache.get(key)
+        if payload is not None:
+            self._stats["front_memory_hits"] += 1
+            return payload
+        if self._disk is not None:
+            result = self._disk.get(key)
+            if result is not None:
+                self._stats["front_disk_hits"] += 1
+                payload = record_from_result(
+                    result, architecture=result.architecture,
+                    benchmark=result.design_name).to_dict()
+                self._front_cache.put(key, payload)
+                return payload
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher thread
+    # ------------------------------------------------------------------ #
+    def _wake(self) -> None:
+        try:
+            os.write(self._waker_w, b"x")
+        except OSError:  # pragma: no cover - closed during shutdown
+            pass
+
+    def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                events = self._selector.select(timeout=0.25)
+                for key, _ in events:
+                    if key.data is None:
+                        try:
+                            os.read(self._waker_r, 65536)
+                        except OSError:
+                            pass
+                    else:
+                        self._drain_worker(key.data)
+                self._assign_submissions()
+                for handle in self._pool:
+                    self._flush(handle)
+                with self._lock:
+                    done = self._closed and not self._submissions \
+                        and not self._inflight
+                    expired = self._drain_deadline is not None \
+                        and time.monotonic() > self._drain_deadline
+                if done or expired:
+                    break
+        except Exception as exc:  # noqa: BLE001 - never die silently
+            self._fail(f"dispatcher crashed: {type(exc).__name__}: {exc}")
+        finally:
+            self._shutdown_workers()
+
+    def _assign_submissions(self) -> None:
+        with self._lock:
+            fresh = list(self._submissions)
+            self._submissions.clear()
+        for pending in fresh:
+            index = self._affinity.get(pending.affinity)
+            if index is None:
+                index = min(range(len(self._pool)),
+                            key=lambda i: (self._pool[i].outstanding, i))
+                self._affinity[pending.affinity] = index
+            self._pool[index].queue.append(pending)
+            self._stats["dispatched"] += 1
+
+    def _flush(self, handle: _WorkerHandle) -> None:
+        """Write queued requests to the worker, up to the pipe backlog cap."""
+        while handle.queue and len(handle.sent) < self.max_pipe_backlog:
+            pending = handle.queue[0]
+            try:
+                handle.conn.send(("request", pending.request_id,
+                                  pending.request))
+            except (BrokenPipeError, OSError):
+                self._restart(handle)
+                return
+            handle.queue.popleft()
+            handle.sent[pending.request_id] = pending
+
+    def _drain_worker(self, handle: _WorkerHandle) -> None:
+        try:
+            while handle.conn.poll():
+                message = handle.conn.recv()
+                self._handle_message(handle, message)
+        except (EOFError, OSError):
+            self._restart(handle)
+
+    def _handle_message(self, handle: _WorkerHandle, message) -> None:
+        kind = message[0]
+        if kind == "stats":
+            _, cache_stats, wins = message
+            self._worker_cache_stats.update(cache_stats)
+            self._worker_portfolio_wins.update(wins)
+            return
+        _, request_id, payload = message
+        pending = handle.sent.pop(request_id, None)
+        if pending is None:  # a restarted worker's stale reply
+            return
+        handle.served += 1
+        if kind == "error":
+            with self._lock:
+                self._inflight.pop(pending.key, None)
+                self._stats["errors"] += 1
+            error = RuntimeError(payload)
+            for future, _ in pending.waiters:
+                future.set_exception(error)
+            return
+        now = time.monotonic()
+        caching = self._front_cache is not None \
+            and pending.request.use_cache is not False \
+            and payload["outcome"] != TIMEOUT_STATUS
+        with self._lock:
+            # Publish to the cache *before* dropping the in-flight entry:
+            # a submit racing this completion must land on one or the
+            # other, never dispatch a duplicate solve.
+            if caching:
+                self._front_cache.put(pending.key, payload)
+            self._inflight.pop(pending.key, None)
+            self._stats["completed"] += 1
+            if payload.get("cache_hit"):
+                self._stats["worker_cache_hits"] += 1
+        # The first waiter is the request that actually solved; coalesced
+        # duplicates are warm serves, exactly as the session cache would
+        # have treated them had they arrived sequentially.
+        first, *rest = pending.waiters
+        first[0].set_result(_restamp(payload, first[1],
+                                     cache_hit=bool(payload.get("cache_hit")),
+                                     time_seconds=payload["time_seconds"]))
+        for future, request in rest:
+            future.set_result(_restamp(payload, request, cache_hit=True,
+                                       time_seconds=now - pending.submitted_at))
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, handle: _WorkerHandle, context=None) -> None:
+        context = context or _service_context()
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(target=_worker_main,
+                                  args=(self.spec, child_conn),
+                                  name=f"lakeroad-worker-{handle.index}",
+                                  daemon=True)
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        self._selector.register(parent_conn, selectors.EVENT_READ,
+                                data=handle)
+
+    def _retire(self, handle: _WorkerHandle, kill_timeout: float = 5.0) -> None:
+        try:
+            self._selector.unregister(handle.conn)
+        except (KeyError, ValueError, OSError):
+            # Not registered, or already retired once (the connection's fd
+            # is gone) — retiring is idempotent.
+            pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(kill_timeout)
+            if process.is_alive():  # pragma: no cover - stuck in C code
+                process.kill()
+                process.join(kill_timeout)
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        """Replace a dead worker; nothing it owed is dropped."""
+        with self._lock:
+            stopping = self._closed and not self._inflight
+            exhausted = not stopping and self._restarts_left <= 0
+            if not stopping and not exhausted:
+                self._restarts_left -= 1
+                self._stats["worker_restarts"] += 1
+        if exhausted:
+            # Retire the dead pipe first or its EOF-ready fd would spin the
+            # selector loop forever.
+            self._retire(handle)
+            handle.sent.clear()
+            handle.queue.clear()
+            self._fail("worker crashed more times than the restart budget "
+                       "allows (is the SessionSpec buildable?)")
+            return
+        self._retire(handle)
+        requeued = deque(handle.sent.values())
+        requeued.extend(handle.queue)
+        handle.sent.clear()
+        handle.queue = requeued
+        self._spawn(handle)
+        self._flush(handle)
+
+    def _fail(self, reason: str) -> None:
+        """Terminal failure: refuse new work, fail everything queued."""
+        with self._lock:
+            self._failed = reason
+            pendings = list(self._inflight.values())
+            self._inflight.clear()
+            self._submissions.clear()
+        error = RuntimeError(f"service failed: {reason}")
+        for pending in pendings:
+            for future, _ in pending.waiters:
+                if not future.done():
+                    future.set_exception(error)
+        warnings.warn(f"lakeroad service: {reason}", RuntimeWarning,
+                      stacklevel=2)
+
+    def _shutdown_workers(self, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        # Anything still pending past the drain deadline fails loudly
+        # rather than hanging its callers forever.
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+            self._submissions.clear()
+        if leftovers:
+            error = RuntimeError("service shut down before this request "
+                                 "completed (drain timeout)")
+            for pending in leftovers:
+                for future, _ in pending.waiters:
+                    if not future.done():
+                        future.set_exception(error)
+        for handle in self._pool:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                continue
+        for handle in self._pool:
+            # Collect the worker's final session statistics (sent as its
+            # reply to "stop"), then let it exit.
+            try:
+                while handle.conn.poll(max(0.0, deadline - time.monotonic())):
+                    self._handle_message(handle, handle.conn.recv())
+            except (EOFError, OSError):
+                pass
+        for handle in self._pool:
+            self._retire(handle)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Front-door counters; ``warm_hit_rate`` is the share of requests
+        served without a fresh solve (front-door hits, coalesced
+        duplicates, and worker-session cache hits)."""
+        with self._lock:
+            stats = dict(self._stats)
+        for key in ("requests", "coalesced", "front_memory_hits",
+                    "front_disk_hits", "dispatched", "completed",
+                    "worker_cache_hits", "worker_restarts", "errors"):
+            stats.setdefault(key, 0)
+        warm = (stats["coalesced"] + stats["front_memory_hits"]
+                + stats["front_disk_hits"] + stats["worker_cache_hits"])
+        stats["warm_served"] = warm
+        stats["warm_hit_rate"] = warm / stats["requests"] \
+            if stats["requests"] else 0.0
+        stats["workers"] = self.workers
+        stats["in_flight"] = len(self._inflight)
+        stats["worker_requests"] = [handle.served for handle in self._pool]
+        return stats
+
+    def affinity_snapshot(self) -> Dict[str, int]:
+        """Design-fingerprint → worker-index routing table (a copy)."""
+        return dict(self._affinity)
+
+    def worker_cache_stats(self) -> Dict[str, int]:
+        """Summed worker-session cache counters (complete after close)."""
+        return dict(self._worker_cache_stats)
+
+    def worker_portfolio_wins(self) -> Dict[str, int]:
+        return dict(self._worker_portfolio_wins)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain in-flight requests, stop workers cleanly, release pipes.
+
+        Requests still running when ``timeout`` expires fail with a
+        RuntimeError instead of hanging their callers.  Safe to call more
+        than once.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+                self._drain_deadline = time.monotonic() + timeout
+        if not already:
+            self._wake()
+        self._thread.join(timeout + 15.0)
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
+        try:
+            os.close(self._waker_w)
+            os.close(self._waker_r)
+        except OSError:
+            pass
+        try:
+            self._selector.close()
+        except (OSError, RuntimeError):  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Socket layer: newline-delimited JSON over a unix domain socket
+# --------------------------------------------------------------------------- #
+def _error_response(request_id, message: str) -> bytes:
+    return (json.dumps({"id": request_id, "ok": False,
+                        "error": message}) + "\n").encode()
+
+
+async def _serve_line(service: SolverService, line: bytes, writer,
+                      write_lock: asyncio.Lock) -> None:
+    loop = asyncio.get_running_loop()
+    request_id = None
+    try:
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ValueError("request must be a JSON object")
+        request_id = payload.get("id")
+        op = payload.get("op", "map")
+        if op == "ping":
+            response = {"id": request_id, "ok": True, "pong": True}
+        elif op == "stats":
+            response = {"id": request_id, "ok": True,
+                        "stats": service.stats()}
+        elif op == "map":
+            request = MapRequest(
+                verilog=payload["verilog"],
+                template=payload.get("template", "dsp"),
+                arch=payload.get("arch", "xilinx-ultrascale-plus"),
+                module_name=payload.get("module"),
+                timeout_seconds=payload.get("timeout"),
+                extra_cycles=int(payload.get("extra_cycles", 1)),
+                validate=bool(payload.get("validate", False)),
+                benchmark=payload.get("benchmark", ""),
+                form=payload.get("form", ""),
+                width=int(payload.get("width", 0)),
+                stages=int(payload.get("stages", 0)),
+                signed=bool(payload.get("signed", False)),
+            )
+            # submit() parses and fingerprints the design — CPU work that
+            # belongs on an executor thread, not the event loop.
+            future = await loop.run_in_executor(None, service.submit, request)
+            record = await asyncio.wrap_future(future)
+            response = {"id": request_id, "ok": True,
+                        "record": record.to_dict()}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        data = (json.dumps(response) + "\n").encode()
+    except Exception as exc:  # noqa: BLE001 - reported to the client
+        data = _error_response(request_id, f"{type(exc).__name__}: {exc}")
+    async with write_lock:
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _handle_client(service: SolverService, reader, writer,
+                         draining: asyncio.Event) -> None:
+    """One client connection: pipelined requests, responses as they finish.
+
+    On shutdown (``draining`` set) the handler stops reading new requests
+    but every request already accepted still gets its response.
+    """
+    write_lock = asyncio.Lock()
+    pending: set = set()
+    drain_wait = asyncio.ensure_future(draining.wait())
+    try:
+        while True:
+            read_task = asyncio.ensure_future(reader.readline())
+            done, _ = await asyncio.wait(
+                {read_task, drain_wait},
+                return_when=asyncio.FIRST_COMPLETED)
+            if read_task not in done:
+                read_task.cancel()
+                break
+            line = read_task.result()
+            if not line:
+                break
+            if line.strip():
+                task = asyncio.ensure_future(
+                    _serve_line(service, line, writer, write_lock))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+    finally:
+        drain_wait.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _serve_main(service: SolverService, socket_path,
+                      ready: Optional[threading.Event],
+                      handle_signals: bool,
+                      stop_event: Optional[asyncio.Event] = None) -> None:
+    socket_path = Path(socket_path)
+    if socket_path.exists():
+        socket_path.unlink()
+    draining = asyncio.Event()
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    clients: set = set()
+
+    async def handler(reader, writer):
+        task = asyncio.current_task()
+        clients.add(task)
+        try:
+            await _handle_client(service, reader, writer, draining)
+        finally:
+            clients.discard(task)
+
+    server = await asyncio.start_unix_server(handler, path=str(socket_path))
+    loop = asyncio.get_running_loop()
+    if handle_signals:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+        # Graceful drain: no new connections, no new requests on existing
+        # ones, every accepted request answered before the socket dies.
+        server.close()
+        await server.wait_closed()
+        draining.set()
+        if clients:
+            await asyncio.gather(*list(clients), return_exceptions=True)
+    finally:
+        if handle_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+        try:
+            socket_path.unlink()
+        except OSError:
+            pass
+
+
+def run_server(service: SolverService, socket_path=DEFAULT_SOCKET, *,
+               ready: Optional[threading.Event] = None,
+               handle_signals: bool = True) -> None:
+    """Serve until SIGINT/SIGTERM, then drain and return (blocking)."""
+    asyncio.run(_serve_main(service, socket_path, ready, handle_signals))
+
+
+class ServerThread:
+    """An in-process server for tests and benchmarks.
+
+    Runs the asyncio socket layer on a background thread; ``close()``
+    triggers the same graceful drain as a signal would.
+    """
+
+    def __init__(self, service: SolverService,
+                 socket_path=DEFAULT_SOCKET) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="lakeroad-serve",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server thread failed to start")
+
+    def _run(self) -> None:
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await _serve_main(self.service, self.socket_path, self._ready,
+                              handle_signals=False, stop_event=self._stop)
+
+        asyncio.run(main())
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """A pipelining client: many requests in flight on one connection.
+
+    Responses are matched to requests by id on a reader thread, so callers
+    can fire a burst of ``submit`` calls and collect futures — the pattern
+    the serve benchmarks and the CI smoke job use to saturate the pool.
+    """
+
+    def __init__(self, socket_path=DEFAULT_SOCKET,
+                 connect_timeout: float = 10.0) -> None:
+        self.socket_path = str(socket_path)
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self.socket_path)
+                break
+            except OSError:
+                sock.close()
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader = threading.Thread(target=self._read_loop,
+                                        name="lakeroad-client-reader",
+                                        daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self._rfile:
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                with self._lock:
+                    future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (OSError, ValueError):
+            pass
+        finally:
+            with self._lock:
+                leftovers = list(self._pending.values())
+                self._pending.clear()
+            error = ConnectionError("server closed the connection")
+            for future in leftovers:
+                if not future.done():
+                    future.set_exception(error)
+
+    def submit(self, payload: Dict[str, Any]) -> "Future[dict]":
+        """Send one request; the future resolves to the response dict."""
+        future: "Future[dict]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("client is closed")
+            self._next_id += 1
+            request_id = self._next_id
+            self._pending[request_id] = future
+        message = dict(payload)
+        message["id"] = request_id
+        try:
+            self._sock.sendall((json.dumps(message) + "\n").encode())
+        except OSError as exc:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            future.set_exception(exc)
+        return future
+
+    def request(self, payload: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.submit(payload).result(timeout=timeout)
+
+    def map_verilog(self, verilog: str, timeout: Optional[float] = None,
+                    **fields) -> Dict[str, Any]:
+        payload = {"op": "map", "verilog": verilog}
+        payload.update(fields)
+        return self.request(payload, timeout=timeout)
+
+    def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        response = self.request({"op": "stats"}, timeout=timeout)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "stats failed"))
+        return response["stats"]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -35,7 +35,28 @@ from repro.sat.portfolio import SatPortfolio, make_portfolio
 from repro.smt.solver import SmtSolver
 from repro.vendor.library import PrimitiveLibrary
 
-__all__ = ["LakeroadResult", "MappingSession", "default_session", "reset_default_session"]
+__all__ = ["LakeroadResult", "MappingSession", "synthesis_cache_key",
+           "default_session", "reset_default_session"]
+
+
+def synthesis_cache_key(design: BehavioralDesign, architecture_name: str,
+                        template: str, budget: Budget, extra_cycles: int,
+                        validate: bool, random_probes: int):
+    """The canonical synthesis-cache key for one mapping request.
+
+    This is the single definition of what makes two mapping requests "the
+    same result": the design's canonical program fingerprint, the target
+    architecture/template, the configured budget, the BMC window, the
+    validation flag and the probe budget (which changes the CEGIS
+    trajectory).  :meth:`MappingSession.map_design` keys its cache with it,
+    and the service front door (:mod:`repro.engine.service`) derives the
+    identical key for its duplicate-coalescing and pre-dispatch cache
+    check — the two must never diverge, or the front door would serve a
+    result the session would not have.
+    """
+    return SynthesisCache.key(program_fingerprint(design.program),
+                              architecture_name, template, budget.key(),
+                              extra_cycles, validate, random_probes)
 
 
 @dataclass
@@ -271,9 +292,9 @@ class MappingSession:
             and not externally_started
         cache_key = None
         if caching:
-            cache_key = SynthesisCache.key(
-                program_fingerprint(design.program), architecture.name, template,
-                budget.key(), extra_cycles, validate, self.random_probes)
+            cache_key = synthesis_cache_key(design, architecture.name,
+                                            template, budget, extra_cycles,
+                                            validate, self.random_probes)
             cached = self.cache.get(cache_key)
             if cached is not None:
                 stats = self.cache.stats()

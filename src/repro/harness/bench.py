@@ -11,17 +11,26 @@ short git revision, or ``unknown`` outside a checkout):
 * **end-to-end sweep** — a cold mapping pass over sampled tier-1 workloads
   followed by a warm re-run, reporting wall time, solved rate, cache hit
   rate and the per-phase candidate/verify breakdown with the bit-parallel
-  probing telemetry.
+  probing telemetry;
+* **serve throughput** — the warm service (:mod:`repro.engine.service`)
+  against per-request cold-start: one ``lakeroad map`` subprocess per query
+  versus a pipelined burst through ``lakeroad serve``, in requests/second
+  with p50/p95 latency.  Saturated-throughput numbers, not single-query
+  latency, are the figure of merit for the service (the Rucci et al.
+  reporting style — see PAPERS.md).
 
-Snapshots are additive — each revision writes its own file — so comparing
-two checkouts is ``diff BENCH_a.json BENCH_b.json``.
+Snapshots are additive — each revision writes its own file — and
+:func:`diff_snapshots` (``lakeroad bench --diff OLD.json NEW.json``)
+compares two of them with per-metric regression thresholds.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -42,7 +51,8 @@ from repro.bv import (
 )
 from repro.bv.bitsim import PROBE_LANES, PackedEvaluator
 
-__all__ = ["git_revision", "probe_throughput", "run_bench", "write_snapshot"]
+__all__ = ["git_revision", "probe_throughput", "bench_serve", "run_bench",
+           "write_snapshot", "diff_snapshots", "DEFAULT_DIFF_THRESHOLDS"]
 
 
 def git_revision(repo_root: Optional[Path] = None) -> str:
@@ -122,10 +132,151 @@ def probe_throughput(assignments: int = 4096) -> Dict[str, float]:
     }
 
 
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _cold_process_baseline(benchmarks, template: str,
+                           cold_requests: int) -> Dict[str, float]:
+    """Requests/second of one ``lakeroad map`` subprocess per query.
+
+    This is what every request costs without the service: full interpreter
+    start, imports, vendor-library load and a from-scratch solve.  The
+    subprocess inherits this interpreter's ``sys.path`` so the measurement
+    works from a source checkout as well as an installed package.
+    """
+    import tempfile
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    seconds = 0.0
+    ran = 0
+    with tempfile.TemporaryDirectory(prefix="lakeroad-bench-") as tmp:
+        sources = []
+        for index, benchmark in enumerate(benchmarks):
+            path = Path(tmp) / f"query_{index}.v"
+            path.write_text(benchmark.verilog)
+            sources.append((path, benchmark.architecture))
+        start = time.perf_counter()
+        for index in range(cold_requests):
+            path, arch = sources[index % len(sources)]
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "map", str(path),
+                 "--arch-desc", arch, "--template", template,
+                 "--no-validate"],
+                env=env, capture_output=True, timeout=600)
+            if completed.returncode in (0, 2, 3):
+                ran += 1
+        seconds = time.perf_counter() - start
+    rate = ran / seconds if seconds and ran else 0.0
+    return {"requests": float(ran), "seconds": seconds,
+            "requests_per_second": rate}
+
+
+def bench_serve(architectures: Optional[Sequence[str]] = None,
+                count: int = 4, seed: int = 0, max_width: int = 8,
+                template: str = "dsp", random_probes: int = 32,
+                requests: int = 32, workers: int = 2,
+                cold_requests: int = 4) -> dict:
+    """Measure ``lakeroad serve`` against per-request cold-start.
+
+    Three phases: the subprocess-per-request baseline (``cold_requests``
+    runs), a cold pass through the service (every unique query solved
+    once), then a pipelined burst of ``requests`` queries against the warm
+    pool with client-side p50/p95 latencies.  ``speedup_vs_cold`` — warm
+    serve requests/second over the subprocess baseline — is the number the
+    CI gate holds at ≥5×.
+    """
+    import tempfile
+
+    from repro.engine.parallel import SessionSpec
+    from repro.engine.service import ServerThread, ServiceClient, SolverService
+    from repro.workloads.generator import ARCHITECTURE_WORKLOADS, sample_workloads
+
+    if architectures is None:
+        architectures = sorted(ARCHITECTURE_WORKLOADS)
+    benchmarks = []
+    for architecture in architectures:
+        benchmarks.extend(sample_workloads(architecture, count, seed=seed,
+                                           max_width=max_width))
+    if not benchmarks:
+        raise ValueError("the serve bench needs at least one benchmark")
+
+    cold_process = _cold_process_baseline(benchmarks, template, cold_requests)
+
+    spec = SessionSpec(random_probes=random_probes)
+    latencies: List[float] = []
+    with tempfile.TemporaryDirectory(prefix="lakeroad-serve-") as tmp:
+        socket_path = Path(tmp) / "bench.sock"
+        with SolverService(spec, workers=workers) as service:
+            with ServerThread(service, socket_path):
+                with ServiceClient(socket_path) as client:
+                    # Cold serve: each unique query pays its one solve.
+                    cold_start = time.perf_counter()
+                    for benchmark in benchmarks:
+                        client.map_verilog(benchmark.verilog,
+                                           arch=benchmark.architecture,
+                                           template=template,
+                                           benchmark=benchmark.name,
+                                           timeout=600)
+                    serve_cold_seconds = time.perf_counter() - cold_start
+
+                    # Warm burst: pipelined, saturating the pool.
+                    burst_start = time.perf_counter()
+                    futures = []
+                    for index in range(requests):
+                        benchmark = benchmarks[index % len(benchmarks)]
+                        sent_at = time.perf_counter()
+                        future = client.submit({
+                            "op": "map", "verilog": benchmark.verilog,
+                            "arch": benchmark.architecture,
+                            "template": template,
+                            "benchmark": benchmark.name})
+                        future.add_done_callback(
+                            lambda _, sent_at=sent_at: latencies.append(
+                                time.perf_counter() - sent_at))
+                        futures.append(future)
+                    responses = [future.result(timeout=600)
+                                 for future in futures]
+                    warm_seconds = time.perf_counter() - burst_start
+                    failed = sum(1 for r in responses if not r.get("ok"))
+                    stats = client.stats()
+
+    latencies.sort()
+    warm_rate = requests / warm_seconds if warm_seconds else 0.0
+    cold_rate = cold_process["requests_per_second"]
+    serve_cold_rate = len(benchmarks) / serve_cold_seconds \
+        if serve_cold_seconds else 0.0
+    return {
+        "workers": workers,
+        "unique_queries": len(benchmarks),
+        "cold_process": cold_process,
+        "serve_cold": {"requests": float(len(benchmarks)),
+                       "seconds": serve_cold_seconds,
+                       "requests_per_second": serve_cold_rate},
+        "serve_warm": {"requests": float(requests),
+                       "seconds": warm_seconds,
+                       "requests_per_second": warm_rate,
+                       "p50_latency_seconds": _percentile(latencies, 0.50),
+                       "p95_latency_seconds": _percentile(latencies, 0.95),
+                       "failed": failed},
+        "warm_hit_rate": stats.get("warm_hit_rate", 0.0),
+        "speedup_vs_cold": warm_rate / cold_rate if cold_rate else 0.0,
+        "service_stats": stats,
+    }
+
+
 def run_bench(architectures: Optional[Sequence[str]] = None,
               count: int = 4, seed: int = 0, max_width: int = 8,
               template: str = "dsp", random_probes: int = 32,
-              throughput_assignments: int = 4096) -> dict:
+              throughput_assignments: int = 4096,
+              serve: bool = True, serve_requests: int = 32,
+              serve_workers: int = 2,
+              serve_cold_requests: int = 4) -> dict:
     """Run the bench suite and return the snapshot payload."""
     from repro.engine.session import MappingSession
     from repro.harness.runner import ExperimentConfig
@@ -184,6 +335,14 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
 
     solved = sum(1 for design in designs if design["outcome"] == "success")
     throughput = probe_throughput(throughput_assignments)
+    serve_section = bench_serve(architectures=architectures, count=count,
+                                seed=seed, max_width=max_width,
+                                template=template,
+                                random_probes=random_probes,
+                                requests=serve_requests,
+                                workers=serve_workers,
+                                cold_requests=serve_cold_requests) \
+        if serve else None
     return {
         "revision": git_revision(),
         "tool": "lakeroad bench",
@@ -207,6 +366,7 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
         "phases": phases,
         "probes": probes,
         "probe_throughput": throughput,
+        "serve": serve_section,
         "designs": designs,
     }
 
@@ -218,3 +378,64 @@ def write_snapshot(snapshot: dict, out_dir=".") -> Path:
     path = out_dir / f"BENCH_{snapshot['revision']}.json"
     path.write_text(json.dumps(snapshot, indent=2) + "\n")
     return path
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot comparison (``lakeroad bench --diff OLD.json NEW.json``)
+# --------------------------------------------------------------------------- #
+#: Metric path -> (direction, allowed fractional regression).  ``higher``
+#: metrics regress when ``new < old * (1 - allowed)``; ``lower`` metrics
+#: (wall times, latencies) when ``new > old * (1 + allowed)``.  Wall-clock
+#: metrics get generous margins — CI machines are noisy and the diff gate
+#: must catch collapses, not jitter.
+DEFAULT_DIFF_THRESHOLDS: Dict[str, tuple] = {
+    "totals.solved_rate": ("higher", 0.0),
+    "totals.warm_cache_hit_rate": ("higher", 0.05),
+    "totals.cold_seconds": ("lower", 1.0),
+    "totals.warm_seconds": ("lower", 1.0),
+    "probe_throughput.speedup": ("higher", 0.5),
+    "probe_throughput.packed_assignments_per_second": ("higher", 0.5),
+    "serve.warm_hit_rate": ("higher", 0.05),
+    "serve.speedup_vs_cold": ("higher", 0.5),
+    "serve.serve_warm.requests_per_second": ("higher", 0.5),
+    "serve.serve_warm.p95_latency_seconds": ("lower", 2.0),
+}
+
+
+def _lookup(snapshot: dict, path: str):
+    value = snapshot
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value if isinstance(value, (int, float)) else None
+
+
+def diff_snapshots(old: dict, new: dict,
+                   thresholds: Optional[Dict[str, tuple]] = None
+                   ) -> List[dict]:
+    """Compare two bench snapshots; return the per-metric verdict list.
+
+    Each entry carries ``metric``, ``old``, ``new``, ``change`` (signed
+    fraction, positive = increased) and ``regressed``.  Metrics missing
+    from either snapshot (e.g. a pre-service snapshot with no ``serve``
+    section) are skipped, so old archives stay comparable.
+    """
+    thresholds = thresholds if thresholds is not None \
+        else DEFAULT_DIFF_THRESHOLDS
+    results: List[dict] = []
+    for metric, (direction, allowed) in sorted(thresholds.items()):
+        old_value = _lookup(old, metric)
+        new_value = _lookup(new, metric)
+        if old_value is None or new_value is None:
+            continue
+        change = (new_value - old_value) / old_value if old_value else 0.0
+        if direction == "higher":
+            regressed = new_value < old_value * (1.0 - allowed)
+        else:
+            regressed = new_value > old_value * (1.0 + allowed)
+        results.append({"metric": metric, "direction": direction,
+                        "allowed": allowed, "old": old_value,
+                        "new": new_value, "change": change,
+                        "regressed": regressed})
+    return results

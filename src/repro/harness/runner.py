@@ -16,6 +16,7 @@ from repro.workloads.generator import Microbenchmark
 __all__ = [
     "ExperimentConfig",
     "MappingRecord",
+    "record_from_result",
     "map_benchmark",
     "run_lakeroad",
     "run_baselines",
@@ -153,35 +154,28 @@ def records_from_jsonl(path) -> List[MappingRecord]:
     return records
 
 
-def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
-                  config: Optional[ExperimentConfig] = None) -> MappingRecord:
-    """Map one microbenchmark on a session and record the data point.
+def record_from_result(result, *, architecture: str, benchmark: str,
+                       form: str = "", width: int = 0, stages: int = 0,
+                       signed: bool = False) -> MappingRecord:
+    """Build a :class:`MappingRecord` from a session's ``LakeroadResult``.
 
-    This is the per-item unit of work both the serial sweep and the sharded
-    worker processes run, so parallel results are serial results by
-    construction.
+    The record is the outcome-derived fields of the result stamped with the
+    caller's benchmark metadata.  The split matters because results are
+    shared across requests (cache hits, and the service front door's
+    coalesced duplicates): sign twins share a canonical fingerprint, so the
+    same underlying result can legitimately be served under several
+    (benchmark, signed) labels.
     """
-    config = config or ExperimentConfig()
-    design = verilog_to_behavioral(benchmark.verilog)
-    result = session.map_design(
-        design,
-        template=config.template,
-        arch=benchmark.architecture,
-        timeout_seconds=config.timeout_for(benchmark.architecture),
-        extra_cycles=config.extra_cycles,
-        validate=config.validate,
-        use_cache=config.use_cache,
-    )
     resources = result.resources
     synthesis = result.synthesis
     return MappingRecord(
         tool="lakeroad",
-        architecture=benchmark.architecture,
-        benchmark=benchmark.name,
-        form=benchmark.form.name,
-        width=benchmark.width,
-        stages=benchmark.stages,
-        signed=benchmark.signed,
+        architecture=architecture,
+        benchmark=benchmark,
+        form=form,
+        width=width,
+        stages=stages,
+        signed=signed,
         outcome=result.status,
         time_seconds=result.time_seconds,
         dsps=resources.dsps if resources else 0,
@@ -200,6 +194,34 @@ def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
         probe_hits=synthesis.probe_hits if synthesis else 0,
         prefilter_cex_found=synthesis.prefilter_cex_found if synthesis else 0,
     )
+
+
+def map_benchmark(session: MappingSession, benchmark: Microbenchmark,
+                  config: Optional[ExperimentConfig] = None) -> MappingRecord:
+    """Map one microbenchmark on a session and record the data point.
+
+    This is the per-item unit of work the serial sweep, the sharded worker
+    processes and the service workers all run, so parallel and served
+    results are serial results by construction.
+    """
+    config = config or ExperimentConfig()
+    design = verilog_to_behavioral(benchmark.verilog)
+    result = session.map_design(
+        design,
+        template=config.template,
+        arch=benchmark.architecture,
+        timeout_seconds=config.timeout_for(benchmark.architecture),
+        extra_cycles=config.extra_cycles,
+        validate=config.validate,
+        use_cache=config.use_cache,
+    )
+    return record_from_result(result,
+                              architecture=benchmark.architecture,
+                              benchmark=benchmark.name,
+                              form=benchmark.form.name,
+                              width=benchmark.width,
+                              stages=benchmark.stages,
+                              signed=benchmark.signed)
 
 
 def run_lakeroad(benchmarks: Sequence[Microbenchmark],
