@@ -353,6 +353,14 @@ def _main_map(argv) -> int:
                   f"evaluated, {synthesis.probe_hits} batch hit(s), "
                   f"{synthesis.prefilter_cex_found} pre-filter "
                   "counterexample(s)", file=sys.stderr)
+            if synthesis.propagations:
+                pps = synthesis.propagations / synthesis.solver_solve_seconds \
+                    if synthesis.solver_solve_seconds > 0 else 0.0
+                vpp = synthesis.watcher_visits / synthesis.propagations
+                print(f"propagation: {synthesis.propagations} literal(s) in "
+                      f"{synthesis.solver_solve_seconds:.2f}s solver time "
+                      f"({pps:,.0f}/s, {vpp:.2f} watcher visit(s) per "
+                      "propagation)", file=sys.stderr)
     if result.status == "success":
         if result.resources is not None:
             print(f"resources: {result.resources}", file=sys.stderr)
@@ -489,6 +497,12 @@ def _main_sweep(argv) -> int:
     print(f"probes: {result.probe_lanes_evaluated} packed lane(s) evaluated, "
           f"{result.probe_hits} batch hit(s), {result.prefilter_cex_found} "
           "pre-filter counterexample(s)", file=sys.stderr)
+    if result.propagations:
+        print(f"propagation: {result.propagations} literal(s) in "
+              f"{result.solver_solve_seconds:.2f}s solver time "
+              f"({result.propagations_per_second:,.0f}/s, "
+              f"{result.watcher_visits_per_propagation:.2f} watcher visit(s) "
+              "per propagation)", file=sys.stderr)
 
     if args.jsonl:
         records_to_jsonl(result.records, args.jsonl)
@@ -512,6 +526,12 @@ def _main_sweep(argv) -> int:
             "cores_pruned": result.cores_pruned,
             "clauses_deleted": result.clauses_deleted,
             "db_size_peak": result.db_size_peak,
+            "propagations": result.propagations,
+            "watcher_visits": result.watcher_visits,
+            "solver_solve_seconds": result.solver_solve_seconds,
+            "propagations_per_second": result.propagations_per_second,
+            "watcher_visits_per_propagation":
+                result.watcher_visits_per_propagation,
             "random_probes": args.probes,
             "probe_lanes_evaluated": result.probe_lanes_evaluated,
             "probe_hits": result.probe_hits,

@@ -64,6 +64,12 @@ class SynthesisOutcome:
     #: clauses deleted, and the learned-database high-water mark.
     clauses_deleted: int = 0
     db_size_peak: int = 0
+    #: Propagation telemetry from the run's warm solver sessions: trail
+    #: literals propagated, watcher entries examined, and wall seconds
+    #: spent inside ``CDCLSolver.solve``.
+    propagations: int = 0
+    watcher_visits: int = 0
+    solver_solve_seconds: float = 0.0
     #: Bit-parallel probing telemetry (see :mod:`repro.bv.bitsim`): packed
     #: random-probe assignments evaluated, probe batches that hit, and
     #: verification counterexamples the packed pre-filter found without
@@ -157,6 +163,9 @@ def f_lr_star(sketch: Sketch, design: Program, at_time: int, cycles: int = 0,
         cores_pruned=cegis.cores_pruned,
         clauses_deleted=cegis.clauses_deleted,
         db_size_peak=cegis.db_size_peak,
+        propagations=cegis.propagations,
+        watcher_visits=cegis.watcher_visits,
+        solver_solve_seconds=cegis.solver_solve_seconds,
         probe_lanes_evaluated=cegis.probe_lanes_evaluated,
         probe_hits=cegis.probe_hits,
         prefilter_cex_found=cegis.prefilter_cex_found,

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sat.cnf import CNF
 from repro.sat.dpll import DPLLSolver
+from repro.sat.legacy import LegacyCDCLSolver
 from repro.sat.solver import CDCLSolver, SatResult
 
 __all__ = [
@@ -179,3 +180,29 @@ register_backend(SolverBackend(
     description="CDCL branching in fixed variable order with fixed "
                 "negative polarity (finds the lex-smallest model first)",
     stagger=60.0))
+
+
+def _run_cdcl_legacy(cnf: CNF, deadline: Optional[float],
+                     assumptions: Sequence[int],
+                     should_stop: Optional[Callable[[], bool]] = None) -> SatResult:
+    return LegacyCDCLSolver(cnf, deadline=deadline,
+                            should_stop=should_stop).solve(assumptions)
+
+
+# The flat-arena engine *is* ``cdcl``; the alias exists so experiment
+# configurations and the differential fuzz matrix can name the layout
+# explicitly when racing it against the retired list-based engine.
+register_backend(SolverBackend(
+    "cdcl-arena", _run_cdcl,
+    description="alias of 'cdcl': flat-arena CDCL with blocker-literal "
+                "watchers (the default engine)",
+    default=False))
+# The pre-arena solver, kept verbatim for one release as the bit-for-bit
+# reference trajectory.  Not part of the default race — it answers
+# identically to 'cdcl', only slower, so racing both wastes a core.
+register_backend(SolverBackend(
+    "cdcl-legacy", _run_cdcl_legacy,
+    description="retired dict/list CDCL kept one release as the "
+                "trajectory-identical differential baseline for the arena "
+                "engine",
+    default=False))

@@ -164,6 +164,41 @@ class SweepResult:
                     if not record.cache_hit), default=0)
 
     @property
+    def propagations(self) -> int:
+        """Trail literals unit-propagated by the warm solver sessions,
+        summed over the records that actually ran synthesis this run."""
+        return sum(record.propagations for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def watcher_visits(self) -> int:
+        """Watcher entries examined during those propagations, summed over
+        the records that actually ran synthesis this run."""
+        return sum(record.watcher_visits for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def solver_solve_seconds(self) -> float:
+        """Wall seconds the non-cached records spent inside the SAT
+        solver (the propagation-throughput denominator)."""
+        return sum(record.solver_solve_seconds for record in self.records
+                   if not record.cache_hit)
+
+    @property
+    def propagations_per_second(self) -> float:
+        """Sweep-wide propagation throughput: total propagations over
+        total solver seconds (not a mean of per-record rates, so long
+        solves weigh in proportion to the time they actually took)."""
+        seconds = self.solver_solve_seconds
+        return self.propagations / seconds if seconds > 0 else 0.0
+
+    @property
+    def watcher_visits_per_propagation(self) -> float:
+        """Mean watcher entries examined per propagated literal."""
+        props = self.propagations
+        return self.watcher_visits / props if props else 0.0
+
+    @property
     def probe_lanes_evaluated(self) -> int:
         """Packed random-probe assignments evaluated by the bit-parallel
         fast layers, summed over the records that actually ran synthesis

@@ -10,8 +10,10 @@ short git revision, or ``unknown`` outside a checkout):
   is a pure engine comparison);
 * **end-to-end sweep** — a cold mapping pass over sampled tier-1 workloads
   followed by a warm re-run, reporting wall time, solved rate, cache hit
-  rate and the per-phase candidate/verify breakdown with the bit-parallel
-  probing telemetry;
+  rate, the per-phase candidate/verify breakdown with the bit-parallel
+  probing telemetry, SAT propagation throughput
+  (``totals.propagations_per_second``) and a ``memory`` section with the
+  process peak RSS and the clause-database high-water mark;
 * **serve throughput** — the warm service (:mod:`repro.engine.service`)
   against per-request cold-start: one ``lakeroad map`` subprocess per query
   versus a pipelined burst through ``lakeroad serve``, in requests/second
@@ -32,6 +34,11 @@ import random
 import subprocess
 import sys
 import time
+
+try:  # Unix only; the bench degrades gracefully elsewhere.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -65,6 +72,20 @@ def git_revision(repo_root: Optional[Path] = None) -> str:
         return "unknown"
     revision = completed.stdout.strip()
     return revision if completed.returncode == 0 and revision else "unknown"
+
+
+def _peak_rss_kb() -> float:
+    """Peak resident set size of this process in kilobytes (0.0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    kilobytes so snapshots diff cleanly across machines.
+    """
+    if resource is None:
+        return 0.0
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak /= 1024.0
+    return peak
 
 
 def _representative_formula():
@@ -295,6 +316,10 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
     phases = {"candidate_seconds": 0.0, "verify_seconds": 0.0}
     probes = {"probe_lanes_evaluated": 0, "probe_hits": 0,
               "prefilter_cex_found": 0}
+    propagations = 0
+    watcher_visits = 0
+    solver_solve_seconds = 0.0
+    clause_db_peak = 0
     with MappingSession(random_probes=random_probes) as session:
         cold_start = time.perf_counter()
         for benchmark in benchmarks:
@@ -320,6 +345,10 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
                 probes["probe_lanes_evaluated"] += synthesis.probe_lanes_evaluated
                 probes["probe_hits"] += synthesis.probe_hits
                 probes["prefilter_cex_found"] += synthesis.prefilter_cex_found
+                propagations += synthesis.propagations
+                watcher_visits += synthesis.watcher_visits
+                solver_solve_seconds += synthesis.solver_solve_seconds
+                clause_db_peak = max(clause_db_peak, synthesis.db_size_peak)
         cold_seconds = time.perf_counter() - cold_start
 
         warm_start = time.perf_counter()
@@ -362,6 +391,16 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
             "warm_seconds": warm_seconds,
             "warm_cache_hit_rate": warm_hits / len(designs) if designs else 0.0,
             "cache": cache_stats,
+            "propagations": propagations,
+            "watcher_visits": watcher_visits,
+            "solver_solve_seconds": solver_solve_seconds,
+            "propagations_per_second":
+                propagations / solver_solve_seconds
+                if solver_solve_seconds > 0 else 0.0,
+        },
+        "memory": {
+            "peak_rss_kb": _peak_rss_kb(),
+            "clause_db_peak": clause_db_peak,
         },
         "phases": phases,
         "probes": probes,
@@ -393,6 +432,9 @@ DEFAULT_DIFF_THRESHOLDS: Dict[str, tuple] = {
     "totals.warm_cache_hit_rate": ("higher", 0.05),
     "totals.cold_seconds": ("lower", 1.0),
     "totals.warm_seconds": ("lower", 1.0),
+    "totals.propagations_per_second": ("higher", 0.5),
+    "memory.peak_rss_kb": ("lower", 0.5),
+    "memory.clause_db_peak": ("lower", 1.0),
     "probe_throughput.speedup": ("higher", 0.5),
     "probe_throughput.packed_assignments_per_second": ("higher", 0.5),
     "serve.warm_hit_rate": ("higher", 0.05),

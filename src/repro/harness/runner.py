@@ -109,6 +109,13 @@ class MappingRecord:
     #: (zero when neither incremental mode ran).
     clauses_deleted: int = 0
     db_size_peak: int = 0
+    #: Propagation telemetry from the run's warm solver sessions: trail
+    #: literals propagated, watcher entries examined, and wall seconds
+    #: spent inside the SAT solver (the propagation-throughput numerators
+    #: and denominator).
+    propagations: int = 0
+    watcher_visits: int = 0
+    solver_solve_seconds: float = 0.0
     #: Bit-parallel probing telemetry: packed random-probe assignments
     #: evaluated across the candidate and verification steps, probe batches
     #: that found a satisfying lane, and verification counterexamples the
@@ -120,6 +127,20 @@ class MappingRecord:
     @property
     def mapped(self) -> bool:
         return self.outcome == budget_mod.SUCCESS
+
+    @property
+    def propagations_per_second(self) -> float:
+        """Propagation throughput over this run's SAT-solving seconds."""
+        if self.solver_solve_seconds <= 0:
+            return 0.0
+        return self.propagations / self.solver_solve_seconds
+
+    @property
+    def watcher_visits_per_propagation(self) -> float:
+        """Mean watcher entries examined per propagated literal."""
+        if not self.propagations:
+            return 0.0
+        return self.watcher_visits / self.propagations
 
     def to_dict(self) -> dict:
         """A plain-dict form (JSON-able; the cross-process wire format)."""
@@ -190,6 +211,9 @@ def record_from_result(result, *, architecture: str, benchmark: str,
         cores_pruned=synthesis.cores_pruned if synthesis else 0,
         clauses_deleted=synthesis.clauses_deleted if synthesis else 0,
         db_size_peak=synthesis.db_size_peak if synthesis else 0,
+        propagations=synthesis.propagations if synthesis else 0,
+        watcher_visits=synthesis.watcher_visits if synthesis else 0,
+        solver_solve_seconds=synthesis.solver_solve_seconds if synthesis else 0.0,
         probe_lanes_evaluated=synthesis.probe_lanes_evaluated if synthesis else 0,
         probe_hits=synthesis.probe_hits if synthesis else 0,
         prefilter_cex_found=synthesis.prefilter_cex_found if synthesis else 0,

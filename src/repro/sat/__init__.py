@@ -4,8 +4,11 @@ The original Lakeroad races four industrial SMT/SAT solvers (Bitwuzla, cvc5,
 Yices2 and STP).  This reproduction ships its own engines:
 
 * :class:`repro.sat.solver.CDCLSolver` -- conflict-driven clause learning
-  with two-watched-literal propagation, VSIDS branching, first-UIP clause
-  learning, Luby restarts and phase saving.
+  over a flat clause arena with blocker-literal watchers, VSIDS branching,
+  first-UIP clause learning, Luby restarts and phase saving.
+* :class:`repro.sat.legacy.LegacyCDCLSolver` -- the list-based CDCL the
+  arena solver replaced, kept for one release as the bit-for-bit reference
+  the differential suite races the arena against (``cdcl-legacy``).
 * :class:`repro.sat.dpll.DPLLSolver`   -- a simple DPLL with unit
   propagation, used as a portfolio member and as a cross-check oracle in the
   test suite.
@@ -13,8 +16,10 @@ Yices2 and STP).  This reproduction ships its own engines:
   under a shared deadline.
 """
 
-from repro.sat.cnf import CNF
+from repro.sat.cnf import CNF, complete_model
 from repro.sat.dpll import DPLLSolver
+from repro.sat.legacy import LegacyCDCLSolver
 from repro.sat.solver import CDCLSolver, SatResult
 
-__all__ = ["CNF", "CDCLSolver", "DPLLSolver", "SatResult"]
+__all__ = ["CNF", "CDCLSolver", "DPLLSolver", "LegacyCDCLSolver",
+           "SatResult", "complete_model"]

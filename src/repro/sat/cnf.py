@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["CNF"]
+__all__ = ["CNF", "complete_model"]
+
+
+def complete_model(num_vars: int, assigned: Mapping[int, bool]) -> Dict[int, bool]:
+    """Extend a partial assignment to a total model over ``1..num_vars``.
+
+    Unconstrained variables default to ``False`` — the convention every
+    solver in :mod:`repro.sat` shares, and part of the canonical-model
+    contract: with static branching and a fixed negative default phase the
+    first model found is the lexicographically smallest one, and the
+    ``False`` completion keeps that property for variables the search never
+    had to touch.  The assigned entries keep their insertion order so the
+    returned dict is reproducible across solver engines.
+    """
+    model = dict(assigned)
+    for var in range(1, num_vars + 1):
+        model.setdefault(var, False)
+    return model
 
 
 class CNF:
@@ -37,6 +54,11 @@ class CNF:
     @property
     def num_clauses(self) -> int:
         return len(self.clauses)
+
+    @property
+    def total_literals(self) -> int:
+        """Literal occurrences over all clauses (the arena footprint)."""
+        return sum(len(clause) for clause in self.clauses)
 
     def copy(self) -> "CNF":
         duplicate = CNF(num_vars=self.num_vars)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.sat.cnf import CNF
+from repro.sat.cnf import CNF, complete_model
 from repro.sat.solver import SatResult
 
 __all__ = ["DPLLSolver"]
@@ -43,8 +43,7 @@ class DPLLSolver:
         status, model = self._search(clauses, assignment, result, start)
         result.status = status
         if status == "sat":
-            full = {var: model.get(var, False) for var in range(1, self.cnf.num_vars + 1)}
-            result.model = full
+            result.model = complete_model(self.cnf.num_vars, model)
         result.time_seconds = time.monotonic() - start
         return result
 

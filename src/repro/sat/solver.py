@@ -1,10 +1,10 @@
-"""An incremental CDCL SAT solver.
+"""An incremental CDCL SAT solver on a flat clause arena.
 
 This is the main engine behind the reproduction's QF_BV solving (the role
 Bitwuzla/STP/Yices2 play in the paper's portfolio).  It implements the
 standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with MiniSat-style blocker literals,
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
 * exponential VSIDS activity-based branching with phase saving,
@@ -21,6 +21,49 @@ standard modern architecture:
   deletion can only change the search trajectory, never an answer,
 * deadline support so callers can impose per-query timeouts (the paper's
   120 s / 40 s / 20 s per-architecture synthesis budgets).
+
+Memory layout (the flat arena)
+------------------------------
+
+All hot state lives in contiguous, integer-indexed stores instead of the
+dict-of-lists layout the solver started with (kept verbatim as
+:class:`repro.sat.legacy.LegacyCDCLSolver` for one release):
+
+* **clause arena** — one flat int sequence holding every clause as a
+  ``[size, lbd, flags]`` header followed by its literal run.  A clause is
+  addressed by the arena offset of its first literal, so ``arena[off - 3]``
+  is its size, ``arena[off - 2]`` its current LBD and ``arena[off - 1]``
+  its flags (``0`` problem, ``1`` learnt, ``-1`` deleted-pending-
+  compaction).  The backing store is a plain python list rather than
+  ``array('i')``: an ``array`` subscript materializes a fresh int object
+  on every read, which benchmarks ~2x slower than a list subscript under
+  CPython 3.11's adaptive interpreter, and the propagation loop is all
+  reads (see EXPERIMENTS.md).  Deletion is tombstone-free:
+  :meth:`CDCLSolver._reduce_db` compacts the arena in place and relocates
+  every watcher, reason and learned-table offset through one old→new
+  offset map.
+* **watcher arrays** — ``watches[lit]`` is a flat python list of
+  ``offset, blocker`` pairs, indexed directly by the *literal* (negative
+  literals use python's negative indexing into the same list).  The
+  blocker is a cached literal of the clause; when it is satisfied and still
+  one of the two watched slots, the visit resolves on array reads alone —
+  no clause dereference, no watcher movement.
+* **assignment / level / reason / trail** — ``vals`` is a literal-indexed
+  int list (``1`` true, ``-1`` false, ``0`` unassigned; ``vals[lit]`` and
+  ``vals[-lit]`` are kept in lockstep, so sign tests disappear from the
+  hot loop), ``levels``/``reasons`` are variable-indexed int lists
+  (``reasons[var]`` holds an arena offset or ``-1``), phases live in a
+  ``bytearray`` and the trail is a plain int list.
+
+The propagation loop replays the legacy algorithm *visit for visit*: the
+blocker fast path only fires when it is provably equivalent to the legacy
+outcome (blocker satisfied **and** still watched), and the slot-0/1
+normalization swap is performed even on satisfied visits because clause
+literal order feeds conflict analysis and core extraction.  The search
+trajectory — conflicts, decisions, propagations, restarts, learned
+clauses, models, unsat cores — is therefore bit-for-bit identical to
+:class:`~repro.sat.legacy.LegacyCDCLSolver`, which the differential fuzz
+suite asserts directly.
 
 The solver is *incremental*: :meth:`CDCLSolver.add_clause` may be called
 after a :meth:`CDCLSolver.solve`, and repeated ``solve(assumptions=...)``
@@ -45,10 +88,10 @@ on identical formulas (the equality guarantee incremental CEGIS relies on).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.sat.cnf import CNF
+from repro.sat.cnf import CNF, complete_model
 
 __all__ = ["CDCLSolver", "SatResult"]
 
@@ -90,14 +133,13 @@ def _luby(i: int) -> int:
 
 
 class _VarOrder:
-    """Indexed binary max-heap over variable activities (MiniSat's order heap).
+    """Indexed binary max-heap over a dict of variable activities.
 
-    Each variable appears at most once (a position map supports in-place
-    sift-up on activity bumps), unlike a lazy ``heapq`` of duplicated
-    entries, which degenerates badly on deep-trail circuit CNFs where every
-    backjump re-inserts thousands of variables.  Priority is highest
-    activity first, ties broken toward the smallest variable index — the
-    same selection order as the lazy-heap implementation it replaces.
+    The dict-backed variant survives for :class:`repro.sat.legacy.
+    LegacyCDCLSolver`; the arena solver uses the list-backed
+    :class:`_ArenaVarOrder` below with identical selection semantics.
+    Priority is highest activity first, ties broken toward the smallest
+    variable index.
     """
 
     __slots__ = ("activity", "heap", "pos")
@@ -172,13 +214,103 @@ class _VarOrder:
         return top
 
 
+class _ArenaVarOrder:
+    """The same indexed max-heap over a variable-indexed activity *list*.
+
+    Selection semantics are identical to :class:`_VarOrder` (highest
+    activity first, ties toward the smallest variable index), but the
+    comparison is inlined into the sift loops: the heap churns on every
+    backtrack (each unassigned variable is re-inserted) and every branch
+    decision, and a ``_precedes`` method call per heap level is the
+    single largest cost outside propagation.  Two distinct variables are
+    never equal, so "``b`` does not precede ``a``" is exactly
+    ``ab < aa or (ab == aa and b > a)``.
+    """
+
+    __slots__ = ("activity", "heap", "pos")
+
+    def __init__(self, activity: List[float]) -> None:
+        self.activity = activity
+        self.heap: List[int] = []
+        self.pos: Dict[int, int] = {}
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos, activity = self.heap, self.pos, self.activity
+        var = heap[i]
+        av = activity[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            pa = activity[pv]
+            if av < pa or (av == pa and var > pv):
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, activity = self.heap, self.pos, self.activity
+        size = len(heap)
+        var = heap[i]
+        av = activity[var]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            best = left
+            bv = heap[left]
+            ba = activity[bv]
+            right = left + 1
+            if right < size:
+                rv = heap[right]
+                ra = activity[rv]
+                if ra > ba or (ra == ba and rv < bv):
+                    best = right
+                    bv = rv
+                    ba = ra
+            if ba < av or (ba == av and bv > var):
+                break
+            heap[i] = bv
+            pos[bv] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
+
+    def insert(self, var: int) -> None:
+        if var in self.pos:
+            return
+        self.heap.append(var)
+        self._sift_up(len(self.heap) - 1)
+
+    def bumped(self, var: int) -> None:
+        """Re-establish the heap order after ``var``'s activity increased."""
+        i = self.pos.get(var)
+        if i is not None:
+            self._sift_up(i)
+
+    def pop(self) -> Optional[int]:
+        heap, pos = self.heap, self.pos
+        if not heap:
+            return None
+        top = heap[0]
+        del pos[top]
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
+
+
 class CDCLSolver:
     """Conflict-driven clause-learning SAT solver over a :class:`CNF`.
 
     ``cnf`` may be omitted to start from an empty clause database and grow
     it with :meth:`add_clause` (the incremental usage).  The constructor
-    copies clauses, so the input CNF is never mutated by the solver's watch
-    reordering.
+    copies clause literals into the arena, so the input CNF is never
+    mutated by the solver's watch reordering.
     """
 
     def __init__(self, cnf: Optional[CNF] = None, deadline: Optional[float] = None,
@@ -204,7 +336,7 @@ class CDCLSolver:
         #: Optional cancellation hook: the portfolio race sets this so losing
         #: members stop burning CPU once a winner has answered.
         self.should_stop = should_stop
-        self.num_vars = cnf.num_vars if cnf is not None else 0
+        self.num_vars = 0
 
         self.var_decay = var_decay
         self.default_phase = default_phase
@@ -217,26 +349,27 @@ class CDCLSolver:
         #: Glue threshold: learned clauses with LBD <= this are never deleted.
         self.max_lbd_keep = max_lbd_keep
 
-        # Clause database: list of clauses (lists of literals); reduction
-        # replaces deleted learned clauses with None tombstones.
-        self.clauses: List[Optional[List[int]]] = []
-        # Watches: literal -> clause indices watching it.
-        self.watches: Dict[int, List[int]] = {}
-        # Assignment: var -> bool, plus trail bookkeeping.
-        self.assignment: Dict[int, bool] = {}
-        self.level: Dict[int, int] = {}
-        self.reason: Dict[int, Optional[int]] = {}
+        #: The clause arena: ``[size, lbd, flags, lit, lit, ...]`` runs.
+        self._arena: List[int] = []
+        # Literal-indexed stores sized 2*cap+1: slot ``lit`` for positive
+        # literals, python negative indexing for negative ones.  ``_cap``
+        # doubles geometrically so growth (a re-layout, since negative
+        # indices count from the end) is amortized O(1) per variable.
+        self._cap = 0
+        self._vals: List[int] = [0]
+        self._watches: List[List[int]] = [[]]
+        # Variable-indexed stores (slot 0 unused).
+        self._levels: List[int] = [0]
+        self._reasons: List[int] = [-1]
+        self._phase = bytearray(1)  # 0 unset, 1 saved-False, 2 saved-True
+        #: VSIDS activities, variable-indexed (list-backed max-heap order).
+        self.activity: List[float] = [0.0]
+        self.var_inc = 1.0
+        self._order = _ArenaVarOrder(self.activity)
+
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.propagation_head = 0
-
-        # VSIDS over an indexed max-heap (no duplicate entries).
-        self.activity: Dict[int, float] = {v: 0.0 for v in range(1, self.num_vars + 1)}
-        self.var_inc = 1.0
-        self.phase: Dict[int, bool] = {}
-        self._order = _VarOrder(self.activity)
-        for v in range(1, self.num_vars + 1):
-            self._order.insert(v)
         # Static branching walks variables in index order; the cursor only
         # ever needs to move back when backtracking unassigns a smaller var.
         self._static_cursor = 1
@@ -247,9 +380,16 @@ class CDCLSolver:
         self.learned_count = 0
         self.total_conflicts = 0
         self.solve_calls = 0
-        # Learned-clause database: clause index -> current LBD, in learning
-        # order.  Deleted clauses leave a None tombstone in ``self.clauses``
-        # so every surviving index stays valid.
+        #: Cumulative propagation telemetry: trail literals propagated,
+        #: watcher entries examined, and wall seconds spent inside
+        #: ``solve`` — the numerators and denominator of the
+        #: ``propagations_per_second`` / ``watcher_visits_per_propagation``
+        #: metrics threaded through CEGIS results and the bench snapshot.
+        self.propagations_total = 0
+        self.watcher_visits = 0
+        self.solve_seconds = 0.0
+        #: Learned-clause database: arena offset -> current LBD, in
+        #: learning order (compaction renumbers offsets but preserves it).
         self._learned: Dict[int, int] = {}
         self._learned_since_reduce = 0
         #: Learned clauses deleted by database reductions (cumulative).
@@ -266,20 +406,66 @@ class CDCLSolver:
         self._ok = True
 
         if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
             for clause in cnf.clauses:
                 if not self._add_clause(list(clause)):
                     self._ok = False
                     break
 
     # ------------------------------------------------------------------ #
-    # Clause database
+    # Variable universe / storage growth
     # ------------------------------------------------------------------ #
+    def _grow_to(self, new_cap: int) -> None:
+        """Re-layout the literal-indexed stores for a larger capacity."""
+        old_vals = self._vals
+        old_watches = self._watches
+        new_vals = [0] * (2 * new_cap + 1)
+        new_watches: List[List[int]] = [[] for _ in range(2 * new_cap + 1)]
+        for var in range(1, self.num_vars + 1):
+            new_vals[var] = old_vals[var]
+            new_vals[-var] = old_vals[-var]
+            new_watches[var] = old_watches[var]
+            new_watches[-var] = old_watches[-var]
+        self._vals = new_vals
+        self._watches = new_watches
+        delta = new_cap - self._cap
+        self._levels.extend([0] * delta)
+        self._reasons.extend([-1] * delta)
+        self._phase.extend(bytes(delta))
+        self.activity.extend([0.0] * delta)
+        self._cap = new_cap
+
     def ensure_vars(self, num_vars: int) -> None:
         """Grow the variable universe (new AIG nodes in a shared namespace)."""
+        if num_vars > self._cap:
+            self._grow_to(max(num_vars, 2 * self._cap, 16))
         for var in range(self.num_vars + 1, num_vars + 1):
-            self.activity[var] = 0.0
             self._order.insert(var)
-        self.num_vars = max(self.num_vars, num_vars)
+        if num_vars > self.num_vars:
+            self.num_vars = num_vars
+
+    # ------------------------------------------------------------------ #
+    # Clause database
+    # ------------------------------------------------------------------ #
+    def _alloc_clause(self, literals: Sequence[int], lbd: int, learnt: bool) -> int:
+        """Append a header+literal run; returns the literal-start offset."""
+        arena = self._arena
+        off = len(arena) + 3
+        arena.append(len(literals))
+        arena.append(lbd)
+        arena.append(1 if learnt else 0)
+        arena.extend(literals)
+        return off
+
+    def _attach(self, off: int, first: int, second: int) -> None:
+        """Watch slots 0/1, each entry carrying the other watch as blocker."""
+        watches = self._watches
+        wl = watches[first]
+        wl.append(off)
+        wl.append(second)
+        wl = watches[second]
+        wl.append(off)
+        wl.append(first)
 
     def add_clause(self, literals: Sequence[int]) -> bool:
         """Add a clause to a (possibly already solved-on) solver.
@@ -309,16 +495,14 @@ class CDCLSolver:
             self._ok = False
             return False
         if len(reduced) == 1:
-            if not self._enqueue(reduced[0], None):
+            if not self._enqueue(reduced[0], -1):
                 self._ok = False
             return self._ok
-        index = len(self.clauses)
-        self.clauses.append(reduced)
-        self.watches.setdefault(reduced[0], []).append(index)
-        self.watches.setdefault(reduced[1], []).append(index)
+        off = self._alloc_clause(reduced, 0, False)
+        self._attach(off, reduced[0], reduced[1])
         return self._ok
 
-    def _add_clause(self, clause: List[int], learnt: bool = False) -> bool:
+    def _add_clause(self, clause: List[int]) -> bool:
         """Construction-time clause attachment (level 0, trail unpropagated)."""
         clause = list(dict.fromkeys(clause))
         if any(-lit in clause for lit in clause):
@@ -326,72 +510,162 @@ class CDCLSolver:
         if not clause:
             return False
         if len(clause) == 1:
-            return self._enqueue(clause[0], None)
-        index = len(self.clauses)
-        self.clauses.append(clause)
-        self.watches.setdefault(clause[0], []).append(index)
-        self.watches.setdefault(clause[1], []).append(index)
+            return self._enqueue(clause[0], -1)
+        off = self._alloc_clause(clause, 0, False)
+        self._attach(off, clause[0], clause[1])
         return True
+
+    def _learn_clause(self, learnt: Sequence[int], lbd: int) -> int:
+        """Attach a learned clause (slots 0/1 watched) and track its LBD."""
+        off = self._alloc_clause(learnt, lbd, True)
+        self._attach(off, learnt[0], learnt[1])
+        self._learned[off] = lbd
+        alive = len(self._learned)
+        if alive > self.db_size_peak:
+            self.db_size_peak = alive
+        self._learned_since_reduce += 1
+        return off
 
     @property
     def learned_alive(self) -> int:
         """Learned clauses currently in the database (watch lists)."""
         return len(self._learned)
 
+    def clause_literals(self, ref: int) -> List[int]:
+        """The literal run of the clause at arena offset ``ref``."""
+        arena = self._arena
+        return arena[ref:ref + arena[ref - 3]]
+
+    def iter_clause_refs(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Walk the arena: yields ``(offset, size, lbd, flags)`` per clause."""
+        arena = self._arena
+        pos = 0
+        total = len(arena)
+        while pos < total:
+            size = arena[pos]
+            yield pos + 3, size, arena[pos + 1], arena[pos + 2]
+            pos += size + 3
+
+    def watcher_entries(self) -> Iterator[Tuple[int, int, int]]:
+        """Every live watcher as ``(watched literal, offset, blocker)``."""
+        watches = self._watches
+        for var in range(1, self.num_vars + 1):
+            for lit in (var, -var):
+                wl = watches[lit]
+                for i in range(0, len(wl), 2):
+                    yield lit, wl[i], wl[i + 1]
+
+    @property
+    def arena_words(self) -> int:
+        """Current arena footprint in 32-bit words (headers + literals)."""
+        return len(self._arena)
+
     def _clause_lbd(self, clause: Sequence[int]) -> int:
-        levels = self.level
-        return len({levels.get(abs(lit), 0) for lit in clause})
+        levels = self._levels
+        return len({levels[lit if lit > 0 else -lit] for lit in clause})
 
     def _reduce_db(self) -> None:
         """Delete the worst half of the deletable learned clauses.
 
         "Worst" is highest LBD first, larger clauses first among equal LBD,
-        oldest first among equal size — a deterministic order.  Protected
-        (and therefore never deletable): glue clauses (LBD <=
-        ``max_lbd_keep``) and locked clauses (the current reason of an
-        assigned literal; deleting one would orphan conflict analysis and
-        ``last_core`` extraction).  Level-0 units never enter the learned
-        database in the first place — they are enqueued directly.
+        oldest first among equal size — a deterministic order (compaction
+        renumbers offsets but preserves their creation order, so the
+        tie-break matches the legacy index-based one).  Protected (and
+        therefore never deletable): glue clauses (LBD <= ``max_lbd_keep``)
+        and locked clauses (the current reason of an assigned literal;
+        deleting one would orphan conflict analysis and ``last_core``
+        extraction).  Level-0 units never enter the learned database in the
+        first place — they are enqueued directly.
+
+        Deletion is tombstone-free: victims are flagged in their headers,
+        then one compaction pass slides the survivors down the arena and
+        relocates every watcher, reason and learned-table offset.  The
+        watcher rewrite replaces the legacy per-clause ``list.remove``
+        (O(watch-list length) per deletion, quadratic over a reduction)
+        with a single linear sweep over the watcher arrays.
         """
         self._learned_since_reduce = 0
-        locked = {index for index in self.reason.values() if index is not None}
-        candidates = [(lbd, index) for index, lbd in self._learned.items()
-                      if lbd > self.max_lbd_keep and index not in locked]
+        reasons = self._reasons
+        locked = set()
+        for lit in self.trail:
+            reason_off = reasons[lit if lit > 0 else -lit]
+            if reason_off >= 0:
+                locked.add(reason_off)
+        learned = self._learned
+        candidates = [(lbd, off) for off, lbd in learned.items()
+                      if lbd > self.max_lbd_keep and off not in locked]
         if candidates:
+            arena = self._arena
             candidates.sort(key=lambda item: (-item[0],
-                                              -len(self.clauses[item[1]]),
+                                              -arena[item[1] - 3],
                                               item[1]))
-            clauses = self.clauses
-            watches = self.watches
-            for _, index in candidates[:len(candidates) // 2]:
-                clause = clauses[index]
-                # The two watched literals are always in positions 0 and 1.
-                watches[clause[0]].remove(index)
-                watches[clause[1]].remove(index)
-                clauses[index] = None
-                del self._learned[index]
-                self.clauses_deleted += 1
+            victims = candidates[:len(candidates) // 2]
+            if victims:
+                for _, off in victims:
+                    arena[off - 1] = -1
+                    del learned[off]
+                    self.clauses_deleted += 1
+                self._compact_arena()
         self.reductions += 1
         self.db_size_floor = len(self._learned)
+
+    def _compact_arena(self) -> None:
+        """Slide surviving clauses over deleted ones; relocate all offsets."""
+        arena = self._arena
+        relocate: Dict[int, int] = {}
+        read = 0
+        write = 0
+        total = len(arena)
+        while read < total:
+            span = arena[read] + 3
+            if arena[read + 2] >= 0:
+                if write != read:
+                    arena[write:write + span] = arena[read:read + span]
+                relocate[read + 3] = write + 3
+                write += span
+            read += span
+        del arena[write:]
+        # One linear sweep rewrites every watcher (dropping the victims')
+        # and preserves per-list order, exactly like the legacy removal.
+        for wl in self._watches:
+            if not wl:
+                continue
+            j = 0
+            for i in range(0, len(wl), 2):
+                new_off = relocate.get(wl[i])
+                if new_off is None:
+                    continue
+                wl[j] = new_off
+                wl[j + 1] = wl[i + 1]
+                j += 2
+            del wl[j:]
+        reasons = self._reasons
+        for lit in self.trail:
+            var = lit if lit > 0 else -lit
+            reason_off = reasons[var]
+            if reason_off >= 0:
+                reasons[var] = relocate[reason_off]
+        self._learned = {relocate[off]: lbd for off, lbd in self._learned.items()}
 
     # ------------------------------------------------------------------ #
     # Assignment / trail
     # ------------------------------------------------------------------ #
     def _value(self, lit: int) -> Optional[bool]:
-        var = abs(lit)
-        if var not in self.assignment:
+        value = self._vals[lit]
+        if value == 0:
             return None
-        value = self.assignment[var]
-        return value if lit > 0 else not value
+        return value > 0
 
-    def _enqueue(self, lit: int, reason_clause: Optional[int]) -> bool:
-        current = self._value(lit)
-        if current is not None:
-            return current
-        var = abs(lit)
-        self.assignment[var] = lit > 0
-        self.level[var] = self._decision_level()
-        self.reason[var] = reason_clause
+    def _enqueue(self, lit: int, reason_off: int) -> bool:
+        vals = self._vals
+        current = vals[lit]
+        if current != 0:
+            return current > 0
+        var = lit if lit > 0 else -lit
+        vals[lit] = 1
+        vals[-lit] = -1
+        self._levels[var] = len(self.trail_lim)
+        self._reasons[var] = reason_off
         self.trail.append(lit)
         return True
 
@@ -402,140 +676,214 @@ class CDCLSolver:
     # Propagation
     # ------------------------------------------------------------------ #
     def _propagate(self) -> Optional[int]:
-        """Unit propagation; returns a conflicting clause index or None.
+        """Unit propagation; returns a conflicting arena offset or None.
 
-        This is the solver's hot loop (it dominates wall time on every
-        bit-blasted query), so the attribute lookups and the two-watched
-        literal value tests are manually inlined with hoisted locals.  The
-        logic — and therefore the search trajectory — is identical to the
-        straightforward form it replaced.
+        The hot loop.  Every watcher visit first tries the blocker fast
+        path: if the cached blocker literal is satisfied *and* is still one
+        of the clause's two watched slots, the legacy algorithm would have
+        kept the watch untouched — so the visit resolves on three array
+        reads (plus the slot-normalization swap legacy performs, because
+        clause literal order feeds conflict analysis).  Stale blockers fall
+        through to the full visit, which replays the legacy replacement
+        search literal for literal; the search trajectory is bit-for-bit
+        identical to :class:`~repro.sat.legacy.LegacyCDCLSolver`.
+        Surviving watchers are compacted in place (no per-visit list
+        allocation).
         """
-        assignment = self.assignment
+        vals = self._vals
+        arena = self._arena
+        watches = self._watches
         trail = self.trail
-        clauses = self.clauses
-        watches = self.watches
-        levels = self.level
-        reasons = self.reason
+        levels = self._levels
+        reasons = self._reasons
         current_level = len(self.trail_lim)
-        head = self.propagation_head
-        processed = 0
+        start_head = self.propagation_head
+        head = start_head
+        visits = 0
         result: Optional[int] = None
-        while head < len(trail):
+        n_trail = len(trail)
+        while head < n_trail:
             lit = trail[head]
             head += 1
-            processed += 1
             false_lit = -lit
-            watch_list = watches.get(false_lit)
-            if not watch_list:
+            wl = watches[false_lit]
+            if not wl:
                 continue
-            new_watch_list: List[int] = []
+            n = len(wl)
+            visits += n >> 1
             i = 0
-            n = len(watch_list)
-            conflict: Optional[int] = None
+            j = 0
+            conflict = -1
             while i < n:
-                clause_index = watch_list[i]
-                i += 1
-                clause = clauses[clause_index]
-                # Ensure the false literal is in position 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
-                first_var = first if first > 0 else -first
-                first_value = assignment.get(first_var)
-                if first_value is not None and \
-                        (first_value if first > 0 else not first_value):
-                    new_watch_list.append(clause_index)
+                off = wl[i]
+                blocker = wl[i + 1]
+                if vals[blocker] > 0:
+                    if arena[off] == blocker:
+                        # Kept watcher: only write it back once a dropped
+                        # watcher has opened a gap (j lags i).
+                        if j != i:
+                            wl[j] = off
+                            wl[j + 1] = blocker
+                        i += 2
+                        j += 2
+                        continue
+                    if arena[off + 1] == blocker:
+                        # Normalize: the false literal moves to slot 1 even
+                        # on a satisfied visit (literal order is trajectory-
+                        # relevant downstream).
+                        arena[off] = blocker
+                        arena[off + 1] = false_lit
+                        if j != i:
+                            wl[j] = off
+                            wl[j + 1] = blocker
+                        i += 2
+                        j += 2
+                        continue
+                    # Stale blocker (no longer watched): full visit.
+                i += 2
+                if arena[off] == false_lit:
+                    first = arena[off + 1]
+                    arena[off] = first
+                    arena[off + 1] = false_lit
+                else:
+                    first = arena[off]
+                first_value = vals[first]
+                if first_value > 0:
+                    # Kept; refresh the blocker to the satisfied literal.
+                    wl[j] = off
+                    wl[j + 1] = first
+                    j += 2
                     continue
                 # Look for a replacement watch (any non-false literal).
+                k = off + 2
+                end = off + arena[off - 3]
                 found = False
-                for k in range(2, len(clause)):
-                    other = clause[k]
-                    other_var = other if other > 0 else -other
-                    other_value = assignment.get(other_var)
-                    if other_value is None or \
-                            (other_value if other > 0 else not other_value):
-                        clause[1] = other
-                        clause[k] = false_lit
-                        other_watches = watches.get(other)
-                        if other_watches is None:
-                            watches[other] = [clause_index]
-                        else:
-                            other_watches.append(clause_index)
+                while k < end:
+                    other = arena[k]
+                    if vals[other] >= 0:
+                        arena[off + 1] = other
+                        arena[k] = false_lit
+                        other_wl = watches[other]
+                        other_wl.append(off)
+                        other_wl.append(first)
                         found = True
                         break
+                    k += 1
                 if found:
                     continue
-                new_watch_list.append(clause_index)
-                if first_value is not None:
-                    # First is false too: conflict.  Copy the remaining
-                    # watches back and report.
-                    new_watch_list.extend(watch_list[i:])
-                    conflict = clause_index
+                wl[j] = off
+                wl[j + 1] = first
+                j += 2
+                if first_value < 0:
+                    # First is false too: conflict.  Slide the remaining
+                    # watchers down over the moved ones and report.
+                    if j != i:
+                        wl[j:] = wl[i:]
+                    visits -= (n - i) >> 1
+                    conflict = off
                     break
                 # Unit: enqueue first with this clause as its reason.
-                assignment[first_var] = first > 0
+                first_var = first if first > 0 else -first
+                vals[first] = 1
+                vals[-first] = -1
                 levels[first_var] = current_level
-                reasons[first_var] = clause_index
+                reasons[first_var] = off
                 trail.append(first)
-            watches[false_lit] = new_watch_list
-            if conflict is not None:
+                n_trail += 1
+            else:
+                if j != n:
+                    del wl[j:]
+            if conflict >= 0:
                 result = conflict
                 break
         self.propagation_head = head
+        processed = head - start_head
         self.stats.propagations += processed
+        self.propagations_total += processed
+        self.watcher_visits += visits
         return result
 
     # ------------------------------------------------------------------ #
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------ #
-    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
+    def _analyze(self, conflict_off: int) -> Tuple[List[int], int]:
+        arena = self._arena
+        levels = self._levels
+        trail = self.trail
+        learned = self._learned
         learnt: List[int] = []
         seen: Dict[int, bool] = {}
         counter = 0
-        lit = None
-        clause = list(self.clauses[conflict_index])
-        trail_index = len(self.trail) - 1
-        current_level = self._decision_level()
+        lit: Optional[int] = None
+        clause = arena[conflict_off:conflict_off + arena[conflict_off - 3]]
+        trail_index = len(trail) - 1
+        current_level = len(self.trail_lim)
+        # The bump loop is hot (every distinct variable in the implication
+        # cone, every conflict) — inline _bump_activity with a local
+        # var_inc, re-synced on the (rare) rescale.
+        activity = self.activity
+        var_inc = self.var_inc
+        vsids = self.branching == "vsids"
+        order_pos = self._order.pos
+        order_sift_up = self._order._sift_up
 
         while True:
             for q in clause:
                 if lit is not None and q == lit:
                     continue
-                var = abs(q)
-                if not seen.get(var) and self.level.get(var, 0) > 0:
+                var = q if q > 0 else -q
+                if not seen.get(var) and levels[var] > 0:
                     seen[var] = True
-                    self._bump_activity(var)
-                    if self.level[var] >= current_level:
+                    bumped = activity[var] + var_inc
+                    activity[var] = bumped
+                    if bumped > 1e100:
+                        # Uniform rescaling preserves the relative order of
+                        # every *other* pair; the variable just bumped
+                        # still needs its sift.
+                        for v in range(1, len(activity)):
+                            activity[v] *= 1e-100
+                        var_inc *= 1e-100
+                        self.var_inc = var_inc
+                    if vsids:
+                        heap_index = order_pos.get(var)
+                        if heap_index is not None:
+                            order_sift_up(heap_index)
+                    if levels[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(q)
             # Find the next literal on the trail to resolve on.
             while True:
-                lit = self.trail[trail_index]
+                lit = trail[trail_index]
                 trail_index -= 1
                 if seen.get(abs(lit)):
                     break
             counter -= 1
             if counter == 0:
                 break
-            reason_index = self.reason[abs(lit)]
-            clause = list(self.clauses[reason_index]) if reason_index is not None else []
-            if reason_index in self._learned:
-                # Glucose's dynamic LBD: a learned clause used in conflict
-                # analysis gets its LBD refreshed (it can only tighten as
-                # the search settles), promoting useful clauses toward the
-                # protected glue tier.
-                lbd = self._clause_lbd(clause)
-                if lbd < self._learned[reason_index]:
-                    self._learned[reason_index] = lbd
+            reason_off = self._reasons[abs(lit)]
+            if reason_off >= 0:
+                clause = arena[reason_off:reason_off + arena[reason_off - 3]]
+                old_lbd = learned.get(reason_off)
+                if old_lbd is not None:
+                    # Glucose's dynamic LBD: a learned clause used in
+                    # conflict analysis gets its LBD refreshed (it can only
+                    # tighten as the search settles), promoting useful
+                    # clauses toward the protected glue tier.
+                    lbd = self._clause_lbd(clause)
+                    if lbd < old_lbd:
+                        learned[reason_off] = lbd
+                        arena[reason_off - 2] = lbd
+            else:
+                clause = []
         learnt.insert(0, -lit)
 
         if len(learnt) == 1:
             backjump_level = 0
         else:
-            levels = sorted((self.level[abs(q)] for q in learnt[1:]), reverse=True)
-            backjump_level = levels[0]
+            sorted_levels = sorted((levels[abs(q)] for q in learnt[1:]),
+                                   reverse=True)
+            backjump_level = sorted_levels[0]
         return learnt, backjump_level
 
     def _analyze_final(self, seed_lits: Sequence[int],
@@ -544,30 +892,38 @@ class CDCLSolver:
         conflict (MiniSat's ``analyzeFinal``): walk the implication graph
         from the conflicting literals down to the assumption decisions.
         """
+        arena = self._arena
+        levels = self._levels
+        reasons = self._reasons
+        vals = self._vals
         core: List[int] = [] if extra is None else [extra]
         seen = set()
         stack = [abs(lit) for lit in seed_lits]
         while stack:
             var = stack.pop()
-            if var in seen or self.level.get(var, 0) == 0:
+            if var in seen or levels[var] == 0:
                 continue
             seen.add(var)
-            reason_index = self.reason.get(var)
-            if reason_index is None:
+            reason_off = reasons[var]
+            if reason_off < 0:
                 # A decision below/at the assumption level is an assumption.
-                core.append(var if self.assignment[var] else -var)
+                core.append(var if vals[var] > 0 else -var)
             else:
-                stack.extend(abs(lit) for lit in self.clauses[reason_index]
+                stack.extend(abs(lit) for lit
+                             in arena[reason_off:reason_off
+                                      + arena[reason_off - 3]]
                              if abs(lit) != var)
         return core
 
     def _bump_activity(self, var: int) -> None:
-        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
-        if self.activity[var] > 1e100:
+        activity = self.activity
+        bumped = activity[var] + self.var_inc
+        activity[var] = bumped
+        if bumped > 1e100:
             # Uniform rescaling preserves the relative order of every
             # *other* pair; the variable just bumped still needs its sift.
-            for v in self.activity:
-                self.activity[v] *= 1e-100
+            for v in range(1, len(activity)):
+                activity[v] *= 1e-100
             self.var_inc *= 1e-100
         if self.branching == "vsids":
             self._order.bumped(var)
@@ -579,46 +935,75 @@ class CDCLSolver:
     # Backtracking
     # ------------------------------------------------------------------ #
     def _cancel_until(self, target_level: int) -> None:
-        if self._decision_level() <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
         boundary = self.trail_lim[target_level]
+        vals = self._vals
+        phase = self._phase
+        reasons = self._reasons
+        trail = self.trail
+        order = self._order
+        order_heap = order.heap
+        order_pos = order.pos
+        activity = self.activity
+        vsids = self.branching == "vsids"
         lowest = self._static_cursor
-        for lit in reversed(self.trail[boundary:]):
-            var = abs(lit)
-            self.phase[var] = self.assignment[var]
-            del self.assignment[var]
-            del self.level[var]
-            self.reason.pop(var, None)
+        for index in range(len(trail) - 1, boundary - 1, -1):
+            lit = trail[index]
+            var = lit if lit > 0 else -lit
+            phase[var] = 2 if vals[var] > 0 else 1
+            vals[var] = 0
+            vals[-var] = 0
+            reasons[var] = -1
             if var < lowest:
                 lowest = var
-            if self.branching == "vsids":
-                self._order.insert(var)
+            if vsids and var not in order_pos:
+                # Inlined _ArenaVarOrder.insert: every unassigned variable
+                # re-enters the heap here, on every backtrack.
+                i = len(order_heap)
+                order_heap.append(var)
+                av = activity[var]
+                while i > 0:
+                    parent = (i - 1) >> 1
+                    pv = order_heap[parent]
+                    pa = activity[pv]
+                    if av < pa or (av == pa and var > pv):
+                        break
+                    order_heap[i] = pv
+                    order_pos[pv] = i
+                    i = parent
+                order_heap[i] = var
+                order_pos[var] = i
         self._static_cursor = lowest
-        del self.trail[boundary:]
+        del trail[boundary:]
         del self.trail_lim[target_level:]
-        self.propagation_head = min(self.propagation_head, len(self.trail))
+        if self.propagation_head > len(trail):
+            self.propagation_head = len(trail)
 
     # ------------------------------------------------------------------ #
     # Branching
     # ------------------------------------------------------------------ #
     def _pick_branch_variable(self) -> Optional[int]:
+        vals = self._vals
         if self.branching == "static":
             var = self._static_cursor
-            while var <= self.num_vars and var in self.assignment:
+            num_vars = self.num_vars
+            while var <= num_vars and vals[var] != 0:
                 var += 1
             self._static_cursor = var
-            return var if var <= self.num_vars else None
+            return var if var <= num_vars else None
         # Indexed heap: pop until an unassigned variable appears (assigned
         # ones are re-inserted when the trail unwinds past them).
+        order = self._order
         while True:
-            var = self._order.pop()
+            var = order.pop()
             if var is None:
                 break
-            if var not in self.assignment:
+            if vals[var] == 0:
                 return var
         # Heap exhausted: fall back to a linear scan (rare).
         for var in range(1, self.num_vars + 1):
-            if var not in self.assignment:
+            if vals[var] == 0:
                 return var
         return None
 
@@ -654,6 +1039,12 @@ class CDCLSolver:
         :attr:`db_size_floor` and :attr:`reductions`.
         """
         start = time.monotonic()
+        try:
+            return self._solve(assumptions, start)
+        finally:
+            self.solve_seconds += time.monotonic() - start
+
+    def _solve(self, assumptions: Sequence[int], start: float) -> SatResult:
         self.solve_calls += 1
         self.last_core = None
         self.stats = SatResult(status="unknown")
@@ -673,16 +1064,18 @@ class CDCLSolver:
             # sequence of related assumption queries — e.g. the
             # lex-minimization pass growing its prefix one literal at a
             # time — then re-propagates almost nothing.
+            vals = self._vals
+            levels = self._levels
             keep_level = 0
             index = 0
             while index < len(assumptions):
                 lit = assumptions[index]
-                var = abs(lit)
-                if (var in self.assignment and self.level[var] <= keep_level
-                        and self._value(lit) is True):
+                var = lit if lit > 0 else -lit
+                if (var <= self.num_vars and vals[var] != 0
+                        and levels[var] <= keep_level and vals[lit] > 0):
                     index += 1
                     continue
-                if (keep_level < self._decision_level()
+                if (keep_level < len(self.trail_lim)
                         and self.trail[self.trail_lim[keep_level]] == lit):
                     keep_level += 1
                     index += 1
@@ -692,7 +1085,7 @@ class CDCLSolver:
 
         conflict = self._propagate()
         if conflict is not None:
-            if self._decision_level() > 0:
+            if len(self.trail_lim) > 0:
                 # A kept assumption level conflicts (possible only via trail
                 # reuse); fall back to a clean root-level start.
                 self._cancel_until(0)
@@ -717,14 +1110,15 @@ class CDCLSolver:
                 return self.stats
             if value is None:
                 self.trail_lim.append(len(self.trail))
-                self._enqueue(lit, None)
+                self._enqueue(lit, -1)
                 conflict = self._propagate()
                 if conflict is not None:
                     self.stats.status = "unsat"
-                    self.last_core = self._analyze_final(self.clauses[conflict])
+                    self.last_core = self._analyze_final(
+                        self.clause_literals(conflict))
                     self.stats.time_seconds = time.monotonic() - start
                     return self.stats
-        assumption_level = self._decision_level()
+        assumption_level = len(self.trail_lim)
 
         restart_count = 1
         conflicts_until_restart = self._restart_interval(restart_count)
@@ -746,13 +1140,14 @@ class CDCLSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level() <= assumption_level:
+                if len(self.trail_lim) <= assumption_level:
                     self.stats.status = "unsat"
                     if assumption_level == 0:
                         self._ok = False
                         self.last_core = []
                     else:
-                        self.last_core = self._analyze_final(self.clauses[conflict])
+                        self.last_core = self._analyze_final(
+                            self.clause_literals(conflict))
                     self.stats.time_seconds = time.monotonic() - start
                     self.total_conflicts += self.stats.conflicts
                     return self.stats
@@ -762,18 +1157,10 @@ class CDCLSolver:
                 self._cancel_until(backjump_level)
                 self.learned_count += 1
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], -1)
                 else:
-                    index = len(self.clauses)
-                    self.clauses.append(learnt)
-                    self.watches.setdefault(learnt[0], []).append(index)
-                    self.watches.setdefault(learnt[1], []).append(index)
-                    self._enqueue(learnt[0], index)
-                    self._learned[index] = lbd
-                    alive = len(self._learned)
-                    if alive > self.db_size_peak:
-                        self.db_size_peak = alive
-                    self._learned_since_reduce += 1
+                    off = self._learn_clause(learnt, lbd)
+                    self._enqueue(learnt[0], off)
                     if self.reduce_interval and \
                             self._learned_since_reduce >= self.reduce_interval:
                         self._reduce_db()
@@ -790,12 +1177,11 @@ class CDCLSolver:
 
             branch_var = self._pick_branch_variable()
             if branch_var is None:
-                model = {var: self.assignment[var] for var in range(1, self.num_vars + 1)
-                         if var in self.assignment}
-                for var in range(1, self.num_vars + 1):
-                    model.setdefault(var, False)
+                vals = self._vals
+                assigned = {var: vals[var] > 0
+                            for var in range(1, self.num_vars + 1) if vals[var]}
                 self.stats.status = "sat"
-                self.stats.model = model
+                self.stats.model = complete_model(self.num_vars, assigned)
                 self.stats.time_seconds = time.monotonic() - start
                 self.total_conflicts += self.stats.conflicts
                 return self.stats
@@ -803,10 +1189,11 @@ class CDCLSolver:
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
             if self.phase_saving:
-                preferred_phase = self.phase.get(branch_var, self.default_phase)
+                saved = self._phase[branch_var]
+                preferred_phase = saved == 2 if saved else self.default_phase
             else:
                 preferred_phase = self.default_phase
-            self._enqueue(branch_var if preferred_phase else -branch_var, None)
+            self._enqueue(branch_var if preferred_phase else -branch_var, -1)
 
 
 def solve_cnf(cnf: CNF, deadline: Optional[float] = None,

@@ -150,6 +150,16 @@ class CegisResult:
     #: Largest learned database any of the run's solvers carried (the
     #: memory high-water mark reduction bounds).
     db_size_peak: int = 0
+    #: Trail literals unit-propagated across every warm solver session the
+    #: run built (persistent candidate/verify sessions and from-scratch
+    #: throwaway candidate sessions alike) — the numerator of the
+    #: propagation-throughput metric.
+    propagations: int = 0
+    #: Watcher entries examined by those propagations (the denominator of
+    #: the blocker-literal hit-rate metric).
+    watcher_visits: int = 0
+    #: Wall seconds those sessions spent inside ``CDCLSolver.solve``.
+    solver_solve_seconds: float = 0.0
     #: Packed random-probe assignments evaluated by the bit-parallel
     #: simulator (candidate-step hole batches and verification miter
     #: pre-filtering combined).
@@ -164,6 +174,20 @@ class CegisResult:
     @property
     def succeeded(self) -> bool:
         return self.status == "sat"
+
+    @property
+    def propagations_per_second(self) -> float:
+        """Propagation throughput over the run's SAT-solving seconds."""
+        if self.solver_solve_seconds <= 0:
+            return 0.0
+        return self.propagations / self.solver_solve_seconds
+
+    @property
+    def watcher_visits_per_propagation(self) -> float:
+        """Mean watcher entries examined per propagated literal."""
+        if not self.propagations:
+            return 0.0
+        return self.watcher_visits / self.propagations
 
 
 def _collect_inputs(obligations: Sequence[Obligation],
@@ -340,11 +364,15 @@ def _solve_candidate(candidate_constraints: Sequence[BVExpr],
 
     result.candidate_conflicts += smt_result.sat_conflicts
     if not incremental:
-        # The throwaway session dies here; fold its clause-DB telemetry in
-        # now (the persistent sessions are folded once, at the end of the
-        # run), so from-scratch candidate work is counted too.
+        # The throwaway session dies here; fold its clause-DB and
+        # propagation telemetry in now (the persistent sessions are folded
+        # once, at the end of the run), so from-scratch candidate work is
+        # counted too.
         result.clauses_deleted += session.clauses_deleted
         result.db_size_peak = max(result.db_size_peak, session.db_size_peak)
+        result.propagations += session.propagations
+        result.watcher_visits += session.watcher_visits
+        result.solver_solve_seconds += session.solve_seconds
     strategy = "sat:incremental" if incremental else "sat:fresh"
     if smt_result.is_unknown:
         return None, "unknown", "timeout"
@@ -636,11 +664,17 @@ def synthesize(obligations: Sequence[Obligation] | Obligation,
         result.clauses_retained = session.clauses_retained
         result.clauses_deleted += session.clauses_deleted
         result.db_size_peak = max(result.db_size_peak, session.db_size_peak)
+        result.propagations += session.propagations
+        result.watcher_visits += session.watcher_visits
+        result.solver_solve_seconds += session.solve_seconds
     if verify_session is not None:
         result.solver_restarts += verify_session.restarts
         result.verify_clauses_retained = verify_session.clauses_retained
         result.clauses_deleted += verify_session.clauses_deleted
         result.db_size_peak = max(result.db_size_peak,
                                   verify_session.db_size_peak)
+        result.propagations += verify_session.propagations
+        result.watcher_visits += verify_session.watcher_visits
+        result.solver_solve_seconds += verify_session.solve_seconds
     result.time_seconds = time.monotonic() - start
     return result

@@ -167,6 +167,8 @@ class IncrementalVerifySession(WarmSolverHost):
                 "clauses_retained": self.clauses_retained,
                 "clauses_deleted": self.clauses_deleted,
                 "db_size_peak": self.db_size_peak,
+                "propagations": self.propagations,
+                "watcher_visits": self.watcher_visits,
                 "cnf_clauses": self.context.cnf.num_clauses,
                 "cnf_vars": self.context.cnf.num_vars}
 

@@ -279,10 +279,14 @@ class WarmSolverHost:
             self._solver_options["reduce_interval"] = reduce_interval
         if max_lbd_keep is not None:
             self._solver_options["max_lbd_keep"] = max_lbd_keep
-        # Reduction telemetry accumulated from solvers dropped by restart(),
-        # so session-lifetime counters survive budget-aware cold restarts.
+        # Reduction and propagation telemetry accumulated from solvers
+        # dropped by restart(), so session-lifetime counters survive
+        # budget-aware cold restarts.
         self._deleted_before_restart = 0
         self._peak_before_restart = 0
+        self._props_before_restart = 0
+        self._visits_before_restart = 0
+        self._solve_seconds_before_restart = 0.0
 
     def restart(self) -> None:
         """Drop the warm solver; the context (and its literals) survive.
@@ -297,6 +301,9 @@ class WarmSolverHost:
             self._deleted_before_restart += self._solver.clauses_deleted
             self._peak_before_restart = max(self._peak_before_restart,
                                             self._solver.db_size_peak)
+            self._props_before_restart += self._solver.propagations_total
+            self._visits_before_restart += self._solver.watcher_visits
+            self._solve_seconds_before_restart += self._solver.solve_seconds
             self._solver = None
             self._synced_clauses = 0
             self.restarts += 1
@@ -318,6 +325,36 @@ class WarmSolverHost:
         """Largest learned database any of the session's solvers carried."""
         current = self._solver.db_size_peak if self._solver is not None else 0
         return max(self._peak_before_restart, current)
+
+    @property
+    def propagations(self) -> int:
+        """Trail literals propagated over the session's life (all solvers)."""
+        current = self._solver.propagations_total if self._solver is not None else 0
+        return self._props_before_restart + current
+
+    @property
+    def watcher_visits(self) -> int:
+        """Watcher entries examined over the session's life (all solvers)."""
+        current = self._solver.watcher_visits if self._solver is not None else 0
+        return self._visits_before_restart + current
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall seconds spent inside ``CDCLSolver.solve`` this session."""
+        current = self._solver.solve_seconds if self._solver is not None else 0.0
+        return self._solve_seconds_before_restart + current
+
+    @property
+    def propagations_per_second(self) -> float:
+        """Session propagation throughput (0.0 before the first solve)."""
+        seconds = self.solve_seconds
+        return self.propagations / seconds if seconds > 0 else 0.0
+
+    @property
+    def watcher_visits_per_propagation(self) -> float:
+        """Mean watcher entries examined per propagated literal."""
+        props = self.propagations
+        return self.watcher_visits / props if props else 0.0
 
     def _sync_solver(self) -> CDCLSolver:
         """Feed clauses appended since the last check into the live solver."""
@@ -407,6 +444,8 @@ class IncrementalSmtSession(WarmSolverHost):
                 "clauses_retained": self.clauses_retained,
                 "clauses_deleted": self.clauses_deleted,
                 "db_size_peak": self.db_size_peak,
+                "propagations": self.propagations,
+                "watcher_visits": self.watcher_visits,
                 "cnf_clauses": self.context.cnf.num_clauses,
                 "cnf_vars": self.context.cnf.num_vars}
 

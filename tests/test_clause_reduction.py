@@ -90,9 +90,53 @@ class TestReductionMechanics:
         solver = CDCLSolver(_pigeonhole(5), reduce_interval=25, max_lbd_keep=1)
         assert solver.solve().is_unsat
         assert solver.clauses_deleted > 0
-        for watchers in solver.watches.values():
-            for index in watchers:
-                assert solver.clauses[index] is not None
+        # Compaction must leave no tombstones in the arena and every watcher
+        # pointing at a live clause that really watches that literal.
+        live = {}
+        for off, size, _lbd, flags in solver.iter_clause_refs():
+            assert flags in (0, 1)  # no deleted-pending entries survive
+            live[off] = size
+        for lit, off, _blocker in solver.watcher_entries():
+            assert off in live
+            assert lit in solver.clause_literals(off)[:2]
+
+    def test_reduction_cost_scales_linearly_with_database_size(self):
+        """4x learned clauses must cost ~4x reduction time, not ~16x.
+
+        Pins the compacting-GC replacement of the legacy per-victim
+        ``list.remove`` detach.  With 10k six-literal clauses over 300
+        variables the watch lists average ~100 entries, so a reintroduced
+        per-delete watcher scan would scale with (victims x list length)
+        — quadratically in database size — while the single-sweep
+        compaction stays linear in arena words.
+        """
+        import time
+
+        def build(learned):
+            num_vars = 300
+            rng = random.Random(7)
+            solver = CDCLSolver(CNF(num_vars=num_vars, clauses=[]),
+                                reduce_interval=0, max_lbd_keep=2)
+            for _ in range(learned):
+                clause = [v if rng.random() < 0.5 else -v
+                          for v in rng.sample(range(1, num_vars + 1), 6)]
+                solver._learn_clause(clause, rng.randint(3, 12))
+            return solver
+
+        def reduce_seconds(learned):
+            best = float("inf")
+            for _ in range(5):
+                solver = build(learned)
+                start = time.perf_counter()
+                solver._reduce_db()
+                best = min(best, time.perf_counter() - start)
+                assert solver.clauses_deleted >= learned // 2
+            return best
+
+        small, large = reduce_seconds(2_500), reduce_seconds(10_000)
+        # Linear scaling predicts 4x; 9x leaves headroom for timer noise
+        # while still failing hard on quadratic (~16x) behaviour.
+        assert large <= max(small, 1e-4) * 9.0, (small, large)
 
     def test_knob_validation(self):
         with pytest.raises(ValueError):

@@ -21,7 +21,14 @@ random instances from a seed and cross-checks:
 * the bit-parallel :class:`~repro.bv.bitsim.PackedEvaluator` against the
   scalar evaluator, lane by lane, on random expressions covering **every**
   operator at random widths and batch sizes — and ``AIG.simulate_packed``
-  against ``AIG.simulate`` on bit-blasted random designs.
+  against ``AIG.simulate`` on bit-blasted random designs;
+* the flat-arena :class:`~repro.sat.solver.CDCLSolver` against the retained
+  :class:`~repro.sat.legacy.LegacyCDCLSolver` — not just statuses but the
+  **entire observable trajectory** (models in emission order, trail,
+  conflict/decision/propagation/restart counters, cores, reduction
+  telemetry) over incremental add-clause/assumption workloads, plus the
+  four CEGIS modes re-run on the legacy engine via monkeypatching and
+  unsat-core strengthening re-solves across three independent engines.
 
 Every case derives its RNG from ``LAKEROAD_FUZZ_SEED`` (default 0) and its
 case index; failing assertions embed the case seed so a failure replays
@@ -58,8 +65,11 @@ BV_CASES = int(os.environ.get("LAKEROAD_FUZZ_BV_CASES", "40"))
 CEGIS_CASES = int(os.environ.get("LAKEROAD_FUZZ_CEGIS_CASES", "18"))
 PACKED_CASES = int(os.environ.get("LAKEROAD_FUZZ_PACKED_CASES", "60"))
 
-#: Every default portfolio member plus the diversified CDCL configs.
-SOLVER_BACKENDS = ("cdcl", "cdcl-agile", "cdcl-stable", "cdcl-static", "dpll")
+#: Every default portfolio member plus the diversified CDCL configs and the
+#: two explicit engine selections (the flat-arena core and the retained
+#: dict-based baseline it must replay exactly).
+SOLVER_BACKENDS = ("cdcl", "cdcl-agile", "cdcl-stable", "cdcl-static",
+                   "cdcl-arena", "cdcl-legacy", "dpll")
 
 
 def _case_seed(stream: str, index: int) -> int:
@@ -390,7 +400,137 @@ class TestPackedDifferential:
 
 
 # --------------------------------------------------------------------------- #
-# (e) CEGIS differential: four mode combinations vs brute force
+# (e) Arena-vs-legacy differential: the flat-arena CDCL core must replay the
+#     retired dict-based solver literal for literal
+# --------------------------------------------------------------------------- #
+class TestArenaLegacyDifferential:
+    #: Knob sets spanning both branching orders, both restart policies,
+    #: phase-saving on/off and three reduction aggressiveness levels.
+    CONFIGS = (
+        {},
+        {"restart_policy": "geometric", "restart_base": 8, "var_decay": 0.85,
+         "reduce_interval": 30, "max_lbd_keep": 2},
+        {"branching": "static", "phase_saving": False, "default_phase": True,
+         "reduce_interval": 20},
+        {"default_phase": True, "restart_base": 4, "reduce_interval": 10,
+         "max_lbd_keep": 0},
+    )
+
+    @staticmethod
+    def _snapshot(solver, result):
+        """Every externally observable artefact of one query, order included."""
+        model = None if result.model is None else list(result.model.items())
+        return (result.status, model, result.conflicts, result.decisions,
+                result.propagations, result.restarts, list(solver.trail),
+                solver.last_core, solver.learned_count,
+                solver.clauses_deleted, solver.db_size_peak,
+                solver.db_size_floor, solver.reductions,
+                solver.propagations_total, solver.watcher_visits,
+                solver.total_conflicts)
+
+    def test_incremental_trajectories_are_bit_identical(self):
+        from repro.sat.legacy import LegacyCDCLSolver
+        from repro.sat.solver import CDCLSolver
+
+        for index in range(max(1, CNF_CASES // 2)):
+            case_seed = _case_seed("arena", index)
+            rng = random.Random(case_seed)
+            num_vars = rng.randint(4, 14)
+            config = self.CONFIGS[index % len(self.CONFIGS)]
+            arena = CDCLSolver(**config)
+            legacy = LegacyCDCLSolver(**config)
+            for batch in range(rng.randint(1, 4)):
+                for _ in range(rng.randint(2, 5 * num_vars)):
+                    clause = [rng.choice((-1, 1)) * rng.randint(1, num_vars)
+                              for _ in range(rng.randint(1, 4))]
+                    assert arena.add_clause(clause) == legacy.add_clause(clause), \
+                        (f"add_clause({clause!r}) verdicts diverged "
+                         f"{_replay('arena', case_seed)}")
+                for query in range(rng.randint(1, 3)):
+                    assumptions = [rng.choice((-1, 1)) * rng.randint(1, num_vars)
+                                   for _ in range(rng.randint(0, 3))] \
+                        if rng.random() < 0.5 else []
+                    lhs = self._snapshot(arena, arena.solve(assumptions))
+                    rhs = self._snapshot(legacy, legacy.solve(assumptions))
+                    assert lhs == rhs, \
+                        (f"batch {batch} query {query} under {assumptions!r}: "
+                         f"arena {lhs!r} != legacy {rhs!r} "
+                         f"{_replay('arena', case_seed)}")
+
+    def test_unsat_cores_strengthen_to_unsat_in_every_engine(self):
+        from repro.sat.dpll import DPLLSolver
+        from repro.sat.legacy import LegacyCDCLSolver
+        from repro.sat.solver import CDCLSolver
+
+        cores_seen = 0
+        for index in range(max(1, CNF_CASES // 2)):
+            case_seed = _case_seed("arena-core", index)
+            rng = random.Random(case_seed)
+            cnf = _random_hard_cnf(rng)
+            solver = CDCLSolver(cnf, reduce_interval=4, max_lbd_keep=0)
+            solver.solve()  # warm the database (and likely reduce it)
+            assumptions = [v if rng.random() < 0.5 else -v
+                           for v in rng.sample(range(1, cnf.num_vars + 1),
+                                               min(3, cnf.num_vars))]
+            if not solver.solve(assumptions).is_unsat:
+                continue
+            core = solver.last_core
+            assert core is not None and set(core) <= set(assumptions), \
+                _replay("arena-core", case_seed)
+            # Re-solve with the core asserted as units: still unsat under
+            # the arena engine, the legacy engine and independent DPLL.
+            strengthened = CNF(num_vars=cnf.num_vars,
+                               clauses=cnf.clauses + [[lit] for lit in core])
+            for engine in (CDCLSolver, LegacyCDCLSolver, DPLLSolver):
+                assert engine(strengthened).solve().is_unsat, \
+                    (f"{engine.__name__} found the strengthened CNF sat — "
+                     f"core {core!r} is unsound "
+                     f"{_replay('arena-core', case_seed)}")
+            cores_seen += 1
+        if CNF_CASES >= 20:
+            assert cores_seen > 0, "no case ever produced an unsat core"
+
+    def test_cegis_modes_on_legacy_solver_match_arena(self, monkeypatch):
+        import repro.smt.solver as smt_solver
+        from repro.sat.legacy import LegacyCDCLSolver
+
+        def run_modes(obligation, holes, case_seed):
+            results = {}
+            for incremental in (False, True):
+                for incremental_verify in (False, True):
+                    outcome = synthesize(
+                        [obligation], holes, incremental=incremental,
+                        incremental_verify=incremental_verify,
+                        solver=SmtSolver(seed=0), seed=case_seed & 0xFFFF,
+                        max_iterations=256)
+                    results[(incremental, incremental_verify)] = (
+                        outcome.status, outcome.hole_values,
+                        outcome.iterations, outcome.examples_used,
+                        outcome.propagations)
+            return results
+
+        for index in range(max(1, CEGIS_CASES // 3)):
+            case_seed = _case_seed("cegis-legacy", index)
+            rng = random.Random(case_seed)
+            width = rng.randint(1, 3)
+            inputs = {"a": rng.randint(1, 3), "b": rng.randint(1, 2)}
+            holes = {"h0": rng.randint(1, 3)}
+            spec = _random_expr(rng, inputs, width, rng.randint(1, 3))
+            sketch = _random_expr(rng, {**inputs, **holes}, width,
+                                  rng.randint(1, 4))
+            obligation = Obligation(spec=spec, sketch=sketch)
+            arena_runs = run_modes(obligation, holes, case_seed)
+            with monkeypatch.context() as patch:
+                patch.setattr(smt_solver, "CDCLSolver", LegacyCDCLSolver)
+                legacy_runs = run_modes(obligation, holes, case_seed)
+            assert arena_runs == legacy_runs, \
+                (f"CEGIS diverged between engines on spec={spec!r} "
+                 f"sketch={sketch!r}: {arena_runs!r} != {legacy_runs!r} "
+                 f"{_replay('cegis-legacy', case_seed)}")
+
+
+# --------------------------------------------------------------------------- #
+# (f) CEGIS differential: four mode combinations vs brute force
 # --------------------------------------------------------------------------- #
 class TestCegisDifferential:
     def test_mode_combinations_agree_and_match_brute_force(self):

@@ -34,6 +34,7 @@ def _comparable(record: MappingRecord) -> dict:
     """Record content minus the wall-clock-dependent fields."""
     data = record.to_dict()
     data.pop("time_seconds")
+    data.pop("solver_solve_seconds")
     data.pop("cache_hit")
     return data
 
