@@ -134,6 +134,39 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="dump the raw MappingRecords to this JSON-lines file")
     parser.add_argument("--stats-json", default=None,
                         help="write a machine-readable sweep summary here")
+    distributed = parser.add_argument_group(
+        "distributed mode",
+        "serve the sweep to TCP worker nodes (--coordinator) or be one "
+        "(--worker); see EXPERIMENTS.md for topology and tuning")
+    distributed.add_argument("--coordinator", metavar="HOST:PORT", default=None,
+                             help="serve shards to remote workers on this "
+                                  "address (port 0 picks a free port)")
+    distributed.add_argument("--worker", metavar="HOST:PORT", default=None,
+                             help="pull shards from the coordinator at this "
+                                  "address instead of generating a grid")
+    distributed.add_argument("--token", default=None,
+                             help="shared secret for the worker handshake "
+                                  "(coordinator generates and prints one "
+                                  "when omitted)")
+    distributed.add_argument("--worker-name", default=None,
+                             help="name this worker reports (default: "
+                                  "hostname-pid)")
+    distributed.add_argument("--shard-size", type=int, default=4,
+                             help="benchmarks per shard the coordinator "
+                                  "hands out (default: 4)")
+    distributed.add_argument("--lease-timeout", type=float, default=30.0,
+                             help="seconds without a heartbeat before a "
+                                  "shard is reassigned (default: 30)")
+    distributed.add_argument("--retry-budget", type=int, default=3,
+                             help="reassignments per shard before the sweep "
+                                  "fails loudly (default: 3)")
+    distributed.add_argument("--artifact-dir", default=None,
+                             help="directory for per-shard JSONL artifacts; "
+                                  "a restarted coordinator resumes completed "
+                                  "shards from here")
+    distributed.add_argument("--reconnect-attempts", type=int, default=5,
+                             help="worker reconnect budget (exponential "
+                                  "backoff) before giving up (default: 5)")
     return parser
 
 
@@ -178,6 +211,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--serve-cold-requests", type=int, default=4,
                         help="subprocess cold-start runs for the serve "
                              "baseline (default: 4)")
+    parser.add_argument("--no-distributed", action="store_true",
+                        help="skip the distributed-sweep section")
+    parser.add_argument("--distributed-workers", type=int, default=2,
+                        help="loopback worker processes for the distributed "
+                             "section (default: 2)")
     parser.add_argument("--diff", nargs=2, metavar=("OLD.json", "NEW.json"),
                         default=None,
                         help="compare two BENCH_<rev>.json snapshots instead "
@@ -424,6 +462,11 @@ def _main_sweep(argv) -> int:
 
     parser = build_sweep_parser()
     args = parser.parse_args(argv)
+    if args.coordinator and args.worker:
+        parser.error("--coordinator and --worker are mutually exclusive: a "
+                     "node is one or the other")
+    if args.worker:
+        return _sweep_worker(args, parser)
     if args.no_cache and args.cache_dir:
         parser.error("--no-cache and --cache-dir are contradictory: a "
                      "disabled cache never persists anything")
@@ -458,20 +501,69 @@ def _main_sweep(argv) -> int:
                        random_probes=args.probes)
 
     interrupted = False
-    previous_handler = _install_sigterm_as_interrupt()
-    try:
-        result = run_sweep(benchmarks, config, workers=args.workers,
-                           session_spec=spec)
-    except SweepInterrupted as stop:
-        # Drained shutdown: workers finished their in-flight benchmark and
-        # flushed their caches; report what completed and exit 130 (the
-        # conventional interrupted-by-signal code).
-        interrupted = True
-        result = stop.result
-        print(f"sweep interrupted — drained {len(result.records)}/"
-              f"{len(benchmarks)} completed record(s)", file=sys.stderr)
-    finally:
-        _restore_sigterm(previous_handler)
+    if args.coordinator:
+        from repro.engine.distributed import SweepCoordinator, parse_address
+
+        try:
+            host, port = parse_address(args.coordinator)
+        except ValueError as exc:
+            parser.error(str(exc))
+        coordinator = SweepCoordinator(
+            benchmarks, config, spec, host=host, port=port, token=args.token,
+            shard_size=args.shard_size, lease_timeout=args.lease_timeout,
+            retry_budget=args.retry_budget, artifact_dir=args.artifact_dir)
+        try:
+            host, port = coordinator.start()
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        telemetry = coordinator.telemetry()
+        resumed = telemetry["shards_resumed"]
+        print(f"coordinator: serving {telemetry['shards']} shard(s) "
+              f"({len(benchmarks)} benchmark(s)) on {host}:{port}"
+              + (f", {resumed} resumed from {args.artifact_dir}"
+                 if resumed else ""), file=sys.stderr)
+        print(f"worker command: lakeroad sweep --worker {host}:{port} "
+              f"--token {coordinator.token}", file=sys.stderr)
+        previous_handler = _install_sigterm_as_interrupt()
+        try:
+            while True:
+                try:
+                    result = coordinator.wait(timeout=0.5)
+                    break
+                except TimeoutError:
+                    continue
+        except KeyboardInterrupt:
+            done = coordinator.telemetry()["shards_completed"]
+            print(f"coordinator interrupted after {done}/"
+                  f"{telemetry['shards']} shard(s)"
+                  + (f" — completed shards stay in {args.artifact_dir} "
+                     "for a resumed run" if args.artifact_dir else ""),
+                  file=sys.stderr)
+            coordinator.close(linger=0.0)
+            return 130
+        except RuntimeError as exc:
+            print(f"distributed sweep failed: {exc}", file=sys.stderr)
+            coordinator.close(linger=0.0)
+            return 1
+        finally:
+            _restore_sigterm(previous_handler)
+        coordinator.close()
+    else:
+        previous_handler = _install_sigterm_as_interrupt()
+        try:
+            result = run_sweep(benchmarks, config, workers=args.workers,
+                               session_spec=spec)
+        except SweepInterrupted as stop:
+            # Drained shutdown: workers finished their in-flight benchmark
+            # and flushed their caches; report what completed and exit 130
+            # (the conventional interrupted-by-signal code).
+            interrupted = True
+            result = stop.result
+            print(f"sweep interrupted — drained {len(result.records)}/"
+                  f"{len(benchmarks)} completed record(s)", file=sys.stderr)
+        finally:
+            _restore_sigterm(previous_handler)
 
     outcomes = result.outcome_counts()
     print(f"swept {len(result.records)} benchmarks over "
@@ -503,6 +595,17 @@ def _main_sweep(argv) -> int:
               f"({result.propagations_per_second:,.0f}/s, "
               f"{result.watcher_visits_per_propagation:.2f} watcher visit(s) "
               "per propagation)", file=sys.stderr)
+    distributed_telemetry = getattr(result, "telemetry", None)
+    if distributed_telemetry:
+        print(f"distributed: {distributed_telemetry['shards_completed']}/"
+              f"{distributed_telemetry['shards']} shard(s) over "
+              f"{len(distributed_telemetry['workers'])} worker(s), "
+              f"{distributed_telemetry['shards_stolen']} stolen, "
+              f"{distributed_telemetry['shards_retried']} retried, "
+              f"{distributed_telemetry['duplicate_results']} duplicate(s), "
+              f"straggler p95 "
+              f"{distributed_telemetry['straggler_p95_seconds']:.2f}s",
+              file=sys.stderr)
 
     if args.jsonl:
         records_to_jsonl(result.records, args.jsonl)
@@ -537,10 +640,68 @@ def _main_sweep(argv) -> int:
             "probe_hits": result.probe_hits,
             "prefilter_cex_found": result.prefilter_cex_found,
         }
+        if distributed_telemetry:
+            summary["distributed"] = distributed_telemetry
         Path(args.stats_json).write_text(json.dumps(summary, indent=2) + "\n")
     # The sweep succeeded as a harness run even if some designs were
     # unmappable; only an empty record set is an error (caught above).
     return 130 if interrupted else 0
+
+
+#: Distinct exit codes for the networked subcommands: 4 means "the peer is
+#: unreachable" (vs 1, a request that reached a server and failed there)
+#: and 5 means "the coordinator rejected this worker's handshake".
+EXIT_UNREACHABLE = 4
+EXIT_REJECTED = 5
+
+
+def _sweep_worker(args, parser) -> int:
+    """``lakeroad sweep --worker HOST:PORT``: one worker node."""
+    from repro.engine.distributed import (
+        CoordinatorUnreachable,
+        WorkerRejected,
+        parse_address,
+        run_worker,
+    )
+
+    if not args.token:
+        parser.error("--worker requires --token (the coordinator prints it "
+                     "on startup)")
+    try:
+        address = parse_address(args.worker)
+    except ValueError as exc:
+        parser.error(str(exc))
+    extra = {}
+    if args.cache_dir:
+        # Override the coordinator's spec path — worker machines need not
+        # share the coordinator's filesystem layout.
+        extra["cache_dir"] = args.cache_dir
+    try:
+        stats = run_worker(address, args.token,
+                           worker_name=args.worker_name,
+                           artifact_dir=args.artifact_dir,
+                           reconnect_attempts=args.reconnect_attempts,
+                           **extra)
+    except CoordinatorUnreachable as exc:
+        print(f"cannot reach a sweep coordinator at {args.worker}: {exc}",
+              file=sys.stderr)
+        print("is `lakeroad sweep --coordinator` running there, and the "
+              "port reachable from this machine?", file=sys.stderr)
+        return EXIT_UNREACHABLE
+    except WorkerRejected as exc:
+        print(f"coordinator at {args.worker} rejected this worker: {exc}",
+              file=sys.stderr)
+        print("check --token against the value the coordinator printed",
+              file=sys.stderr)
+        return EXIT_REJECTED
+    except RuntimeError as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker done: contributed {stats['shards']} shard(s) / "
+          f"{stats['records']} record(s); {stats['abandoned']} abandoned, "
+          f"{stats['duplicates']} duplicate(s), "
+          f"{stats['reconnects']} reconnect(s)", file=sys.stderr)
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -598,7 +759,9 @@ def _main_bench(argv) -> int:
                          serve=not args.no_serve,
                          serve_requests=args.serve_requests,
                          serve_workers=args.serve_workers,
-                         serve_cold_requests=args.serve_cold_requests)
+                         serve_cold_requests=args.serve_cold_requests,
+                         distributed=not args.no_distributed,
+                         distributed_workers=args.distributed_workers)
     path = write_snapshot(snapshot, args.output_dir)
 
     totals = snapshot["totals"]
@@ -627,6 +790,16 @@ def _main_bench(argv) -> int:
               f"p50 {warm['p50_latency_seconds'] * 1e3:.1f}ms / "
               f"p95 {warm['p95_latency_seconds'] * 1e3:.1f}ms, "
               f"{serve['warm_hit_rate']:.0%} warm hits", file=sys.stderr)
+    distributed = snapshot.get("distributed")
+    if distributed is not None:
+        equal = "records equal" if distributed["records_equal"] >= 1.0 \
+            else "RECORDS DIFFER"
+        print(f"distributed: {distributed['benchmarks']} benchmark(s) over "
+              f"{distributed['workers']} worker(s) in "
+              f"{distributed['distributed_seconds']:.2f}s vs "
+              f"{distributed['serial_seconds']:.2f}s serial "
+              f"({distributed['speedup_vs_serial']:.1f}x), {equal}",
+              file=sys.stderr)
     print(str(path))
     return 0
 
@@ -671,6 +844,8 @@ def _main_serve(argv) -> int:
 
 
 def _main_request(argv) -> int:
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+
     from repro.engine.service import ServiceClient
 
     parser = build_request_parser()
@@ -696,10 +871,16 @@ def _main_request(argv) -> int:
         with ServiceClient(args.socket, connect_timeout=5.0) as client:
             response = client.request(payload, timeout=600.0)
             stats = client.stats() if args.stats else None
+    except FutureTimeoutError:
+        print(f"request to {args.socket} timed out after 600s",
+              file=sys.stderr)
+        return EXIT_UNREACHABLE
     except (OSError, ConnectionError) as exc:
         print(f"cannot reach a lakeroad serve on {args.socket}: {exc}",
               file=sys.stderr)
-        return 1
+        print("is `lakeroad serve` running with the same --socket path?",
+              file=sys.stderr)
+        return EXIT_UNREACHABLE
 
     if not response.get("ok"):
         print(f"request failed: {response.get('error')}", file=sys.stderr)

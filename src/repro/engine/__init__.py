@@ -16,6 +16,9 @@
 * :mod:`repro.engine.service`  -- the long-lived warm worker pool behind
   ``lakeroad serve``: request dedup, front-door caching, affinity routing
   and crash recovery over persistent sessions.
+* :mod:`repro.engine.distributed` -- cross-machine sweeps: a TCP
+  coordinator serving shards under work-stealing leases, workers built
+  from the wire-form session spec, exactly-once deterministic merge.
 
 Everything except ``budget`` and ``backends`` is imported lazily: the
 cache, session and parallel layers depend on the core/synthesis/harness
@@ -69,6 +72,10 @@ __all__ = [
     "ServiceClient",
     "ServerThread",
     "run_server",
+    "SweepCoordinator",
+    "DistributedSweepResult",
+    "run_worker",
+    "run_distributed_sweep",
 ]
 
 _CACHE_EXPORTS = ("SynthesisCache", "program_fingerprint")
@@ -79,6 +86,8 @@ _PARALLEL_EXPORTS = ("SessionSpec", "SweepResult", "run_sweep",
                      "run_lakeroad_parallel")
 _SERVICE_EXPORTS = ("MapRequest", "SolverService", "ServiceClient",
                     "ServerThread", "run_server")
+_DISTRIBUTED_EXPORTS = ("SweepCoordinator", "DistributedSweepResult",
+                        "run_worker", "run_distributed_sweep")
 
 
 def __getattr__(name):
@@ -102,4 +111,8 @@ def __getattr__(name):
         from repro.engine import service
 
         return getattr(service, name)
+    if name in _DISTRIBUTED_EXPORTS:
+        from repro.engine import distributed
+
+        return getattr(distributed, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,7 +39,7 @@ import threading
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.engine.cache import SynthesisCache
 
@@ -176,6 +176,13 @@ class DiskSynthesisCache:
         #: flushed on the next write operation (put/prune/close): hits stay
         #: pure reads instead of each taking sqlite's single-writer lock.
         self._dirty_recency: Dict[str, float] = {}
+        #: High-water mark for recency/creation stamps.  Wall clocks step
+        #: backwards (NTP corrections, VM migrations); an entry stamped
+        #: after such a step would look *older* than everything before it
+        #: and the LRU evictor would drop the hottest entries first.
+        #: ``_stamp`` clamps against this mark so stamps are strictly
+        #: increasing within a process regardless of what the clock does.
+        self._last_stamp = 0.0
         #: Local estimate of the entry count, so the per-query stats path
         #: never runs COUNT(*); exact at open and after len(), drifts only
         #: on key overwrites and on other processes' concurrent writes.
@@ -253,6 +260,17 @@ class DiskSynthesisCache:
             self._entry_estimate = int(row[0])
         except (sqlite3.Error, AttributeError):
             self._entry_estimate = 0
+
+    def _stamp(self) -> float:
+        """A wall-clock timestamp clamped to be strictly increasing within
+        this process (called with the lock held).  The epsilon keeps
+        ordering information across a backwards clock step — ties would
+        otherwise fall back to key order in the LRU eviction query."""
+        now = time.time()
+        if now <= self._last_stamp:
+            now = self._last_stamp + 1e-6
+        self._last_stamp = now
+        return now
 
     def _quarantine(self) -> None:
         """Move a damaged database aside and warn; the cache starts fresh."""
@@ -338,7 +356,7 @@ class DiskSynthesisCache:
                 except sqlite3.Error:
                     pass
                 return None
-            self._dirty_recency[text_key] = time.time()
+            self._dirty_recency[text_key] = self._stamp()
             self.hits += 1
             self._unflushed_hits += 1
             return value
@@ -420,7 +438,7 @@ class DiskSynthesisCache:
                 return
             self._flush_recency()
             try:
-                now = time.time()
+                now = self._stamp()
                 self._connection.execute(
                     "INSERT OR REPLACE INTO entries "
                     "(key, value, created_at, last_used_at) "
@@ -473,7 +491,7 @@ class DiskSynthesisCache:
                 if max_age_seconds is not None:
                     cursor = self._connection.execute(
                         "DELETE FROM entries WHERE last_used_at < ?",
-                        (time.time() - max_age_seconds,))
+                        (self._stamp() - max_age_seconds,))
                     removed += cursor.rowcount if cursor.rowcount > 0 else 0
                 if max_entries is not None:
                     row = self._connection.execute(
@@ -493,6 +511,68 @@ class DiskSynthesisCache:
             except sqlite3.Error:
                 self.errors += 1
         return removed
+
+    def export_entries(self, since: float = 0.0,
+                       limit: Optional[int] = None
+                       ) -> List[Tuple[str, bytes, float]]:
+        """Snapshot entries created after ``since`` as
+        ``(text_key, pickled_blob, created_at)`` rows, oldest first.
+
+        The distributed sweep uses this for warm-cache sync: workers
+        export the entries their completed shards produced and the
+        coordinator ships them to late joiners.  Blobs stay opaque —
+        they are inserted verbatim on the other side.
+        """
+        with self._lock:
+            self._guard_fork()
+            if self._connection is None:
+                return []
+            query = ("SELECT key, value, created_at FROM entries "
+                     "WHERE created_at > ? ORDER BY created_at ASC, key ASC")
+            try:
+                if limit is not None:
+                    rows = self._connection.execute(
+                        query + " LIMIT ?", (since, limit)).fetchall()
+                else:
+                    rows = self._connection.execute(
+                        query, (since,)).fetchall()
+            except sqlite3.Error:
+                self.errors += 1
+                return []
+        return [(key, bytes(blob), float(created))
+                for key, blob, created in rows]
+
+    def import_entries(self,
+                       entries: Iterable[Tuple[str, bytes]]) -> int:
+        """Insert pre-pickled ``(text_key, blob)`` rows from another node.
+
+        Local entries win on key collisions (INSERT OR IGNORE): the local
+        copy is at least as fresh and may already be promoted into the
+        memory tier.  Returns the number of rows actually inserted.
+        """
+        inserted = 0
+        with self._lock:
+            self._guard_fork()
+            if self._connection is None:
+                return 0
+            self._flush_recency()
+            now = self._stamp()
+            try:
+                for key, blob in entries:
+                    cursor = self._connection.execute(
+                        "INSERT OR IGNORE INTO entries "
+                        "(key, value, created_at, last_used_at) "
+                        "VALUES (?, ?, ?, ?)", (key, blob, now, now))
+                    if cursor.rowcount > 0:
+                        inserted += cursor.rowcount
+                self._connection.commit()
+                self._entry_estimate += inserted
+            except sqlite3.Error:
+                self.errors += 1
+            if self.max_entries is not None and \
+                    self._entry_estimate > self.max_entries:
+                self._evict_over_cap()
+        return inserted
 
     def size_bytes(self) -> int:
         """On-disk footprint of the database (plus WAL sidecar)."""

@@ -29,7 +29,7 @@ import multiprocessing
 import signal
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.runner import (
@@ -82,6 +82,20 @@ class SessionSpec:
                    incremental=config.incremental,
                    incremental_verify=config.incremental_verify,
                    random_probes=config.random_probes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON wire form: the distributed handshake ships this
+        instead of a pickle, so coordinator and workers need not share a
+        pickle protocol (or trust each other's bytestreams)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SessionSpec":
+        """Rebuild from the wire form; unknown keys from newer peers are
+        ignored so mixed-version fleets degrade instead of crashing."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
 
     def build(self):
         from repro.engine.session import MappingSession

@@ -72,10 +72,18 @@ from repro.harness.runner import (
 )
 
 __all__ = ["MapRequest", "SolverService", "ServiceClient", "ServerThread",
-           "run_server", "DEFAULT_SOCKET"]
+           "run_server", "DEFAULT_SOCKET", "DEFAULT_STREAM_LIMIT"]
 
 #: Default unix-socket path for ``lakeroad serve`` / ``lakeroad request``.
 DEFAULT_SOCKET = "/tmp/lakeroad.sock"
+
+#: Per-connection line limit for the asyncio servers.  asyncio's default
+#: StreamReader limit is 64 KiB — smaller than a map request carrying a
+#: large inlined Verilog source, and hitting it used to kill the
+#: connection (``LimitOverrunError`` propagating out of ``readline``).
+#: 16 MiB comfortably covers any design the engine can actually solve
+#: while still bounding what one connection can buffer.
+DEFAULT_STREAM_LIMIT = 16 * 1024 * 1024
 
 #: Per-worker cap on requests written to the pipe but not yet answered;
 #: bounds pipe-buffer usage so the dispatcher's sends never block.
@@ -738,6 +746,38 @@ def _error_response(request_id, message: str) -> bytes:
                         "error": message}) + "\n").encode()
 
 
+async def _readline_limited(reader) -> Tuple[bytes, bool]:
+    """``reader.readline()`` that survives an oversized line.
+
+    Returns ``(line, overrun)``.  A line exceeding the stream limit makes
+    ``readline`` raise (``LimitOverrunError`` surfaced as ``ValueError``)
+    and clear the buffer at an arbitrary point, which can also swallow the
+    *next* legitimate request; propagating it kills the connection.  This
+    drains the oversized line through its terminating newline — discarding
+    it chunk by chunk without ever buffering past the limit — and reports
+    ``(b"", True)`` so the caller can answer with a structured JSON error
+    and keep serving the connection.
+    """
+    overrun = False
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            # EOF: mid-drain the partial tail is garbage, otherwise an
+            # unterminated final line is returned as readline would.
+            return (b"" if overrun else exc.partial), overrun
+        except asyncio.LimitOverrunError as exc:
+            # ``consumed`` bytes are known not to contain the newline;
+            # discard exactly those and look again (readuntil leaves the
+            # buffer intact on overrun, so nothing is lost).
+            overrun = True
+            await reader.readexactly(max(1, exc.consumed))
+            continue
+        if overrun:
+            return b"", True  # the tail of the oversized line
+        return line, False
+
+
 async def _serve_line(service: SolverService, line: bytes, writer,
                       write_lock: asyncio.Lock) -> None:
     loop = asyncio.get_running_loop()
@@ -788,25 +828,38 @@ async def _serve_line(service: SolverService, line: bytes, writer,
 
 
 async def _handle_client(service: SolverService, reader, writer,
-                         draining: asyncio.Event) -> None:
+                         draining: asyncio.Event,
+                         limit: int = DEFAULT_STREAM_LIMIT) -> None:
     """One client connection: pipelined requests, responses as they finish.
 
     On shutdown (``draining`` set) the handler stops reading new requests
-    but every request already accepted still gets its response.
+    but every request already accepted still gets its response.  A request
+    line over the stream limit gets a structured error response (id
+    ``None`` — the line never parsed) instead of a dead socket.
     """
     write_lock = asyncio.Lock()
     pending: set = set()
     drain_wait = asyncio.ensure_future(draining.wait())
     try:
         while True:
-            read_task = asyncio.ensure_future(reader.readline())
+            read_task = asyncio.ensure_future(_readline_limited(reader))
             done, _ = await asyncio.wait(
                 {read_task, drain_wait},
                 return_when=asyncio.FIRST_COMPLETED)
             if read_task not in done:
                 read_task.cancel()
                 break
-            line = read_task.result()
+            line, overrun = read_task.result()
+            if overrun:
+                async with write_lock:
+                    try:
+                        writer.write(_error_response(
+                            None, f"request line exceeded the {limit}-byte "
+                                  f"stream limit and was discarded"))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
+                continue
             if not line:
                 break
             if line.strip():
@@ -828,7 +881,8 @@ async def _handle_client(service: SolverService, reader, writer,
 async def _serve_main(service: SolverService, socket_path,
                       ready: Optional[threading.Event],
                       handle_signals: bool,
-                      stop_event: Optional[asyncio.Event] = None) -> None:
+                      stop_event: Optional[asyncio.Event] = None,
+                      limit: int = DEFAULT_STREAM_LIMIT) -> None:
     socket_path = Path(socket_path)
     if socket_path.exists():
         socket_path.unlink()
@@ -840,11 +894,12 @@ async def _serve_main(service: SolverService, socket_path,
         task = asyncio.current_task()
         clients.add(task)
         try:
-            await _handle_client(service, reader, writer, draining)
+            await _handle_client(service, reader, writer, draining, limit)
         finally:
             clients.discard(task)
 
-    server = await asyncio.start_unix_server(handler, path=str(socket_path))
+    server = await asyncio.start_unix_server(handler, path=str(socket_path),
+                                             limit=limit)
     loop = asyncio.get_running_loop()
     if handle_signals:
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -872,9 +927,11 @@ async def _serve_main(service: SolverService, socket_path,
 
 def run_server(service: SolverService, socket_path=DEFAULT_SOCKET, *,
                ready: Optional[threading.Event] = None,
-               handle_signals: bool = True) -> None:
+               handle_signals: bool = True,
+               limit: int = DEFAULT_STREAM_LIMIT) -> None:
     """Serve until SIGINT/SIGTERM, then drain and return (blocking)."""
-    asyncio.run(_serve_main(service, socket_path, ready, handle_signals))
+    asyncio.run(_serve_main(service, socket_path, ready, handle_signals,
+                            limit=limit))
 
 
 class ServerThread:
@@ -885,9 +942,11 @@ class ServerThread:
     """
 
     def __init__(self, service: SolverService,
-                 socket_path=DEFAULT_SOCKET) -> None:
+                 socket_path=DEFAULT_SOCKET,
+                 limit: int = DEFAULT_STREAM_LIMIT) -> None:
         self.service = service
         self.socket_path = Path(socket_path)
+        self.limit = limit
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -903,7 +962,8 @@ class ServerThread:
             self._loop = asyncio.get_running_loop()
             self._stop = asyncio.Event()
             await _serve_main(self.service, self.socket_path, self._ready,
-                              handle_signals=False, stop_event=self._stop)
+                              handle_signals=False, stop_event=self._stop,
+                              limit=self.limit)
 
         asyncio.run(main())
 
@@ -926,25 +986,43 @@ class ServiceClient:
     Responses are matched to requests by id on a reader thread, so callers
     can fire a burst of ``submit`` calls and collect futures — the pattern
     the serve benchmarks and the CI smoke job use to saturate the pool.
+
+    ``address`` is a unix-socket path (string — the historical form) or a
+    ``(host, port)`` tuple for the TCP servers the distributed sweep runs.
     """
 
-    def __init__(self, socket_path=DEFAULT_SOCKET,
+    def __init__(self, address=DEFAULT_SOCKET,
                  connect_timeout: float = 10.0) -> None:
-        self.socket_path = str(socket_path)
+        if isinstance(address, tuple):
+            self.address: Any = (str(address[0]), int(address[1]))
+            family = socket.AF_INET
+        else:
+            self.address = str(address)
+            family = socket.AF_UNIX
+        self.socket_path = str(address)  # historical attribute name
         deadline = time.monotonic() + connect_timeout
         while True:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock = socket.socket(family, socket.SOCK_STREAM)
             try:
-                sock.connect(self.socket_path)
+                sock.connect(self.address)
                 break
             except OSError:
                 sock.close()
                 if time.monotonic() > deadline:
                     raise
                 time.sleep(0.05)
+        if family == socket.AF_INET:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._lock = threading.Lock()
+        #: Serializes sendall: concurrent submitters (e.g. a worker's
+        #: heartbeat thread next to its result uploads) must not
+        #: interleave partial writes inside one line.
+        self._send_lock = threading.Lock()
         self._pending: Dict[int, Future] = {}
         self._next_id = 0
         self._closed = False
@@ -989,7 +1067,8 @@ class ServiceClient:
         message = dict(payload)
         message["id"] = request_id
         try:
-            self._sock.sendall((json.dumps(message) + "\n").encode())
+            with self._send_lock:
+                self._sock.sendall((json.dumps(message) + "\n").encode())
         except OSError as exc:
             with self._lock:
                 self._pending.pop(request_id, None)

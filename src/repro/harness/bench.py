@@ -19,7 +19,12 @@ short git revision, or ``unknown`` outside a checkout):
   versus a pipelined burst through ``lakeroad serve``, in requests/second
   with p50/p95 latency.  Saturated-throughput numbers, not single-query
   latency, are the figure of merit for the service (the Rucci et al.
-  reporting style — see PAPERS.md).
+  reporting style — see PAPERS.md);
+* **distributed sweep** — the TCP coordinator/worker path
+  (:mod:`repro.engine.distributed`) over loopback with two worker
+  processes, against the serial in-process sweep on the same grid:
+  wall times, records/second, and ``records_equal`` asserting the
+  distributed merge reproduced the serial records exactly.
 
 Snapshots are additive — each revision writes its own file — and
 :func:`diff_snapshots` (``lakeroad bench --diff OLD.json NEW.json``)
@@ -58,8 +63,9 @@ from repro.bv import (
 )
 from repro.bv.bitsim import PROBE_LANES, PackedEvaluator
 
-__all__ = ["git_revision", "probe_throughput", "bench_serve", "run_bench",
-           "write_snapshot", "diff_snapshots", "DEFAULT_DIFF_THRESHOLDS"]
+__all__ = ["git_revision", "probe_throughput", "bench_serve",
+           "bench_distributed", "run_bench", "write_snapshot",
+           "diff_snapshots", "DEFAULT_DIFF_THRESHOLDS"]
 
 
 def git_revision(repo_root: Optional[Path] = None) -> str:
@@ -291,13 +297,91 @@ def bench_serve(architectures: Optional[Sequence[str]] = None,
     }
 
 
+def _comparable_records(records) -> List[dict]:
+    """Record dicts with the wall-clock fields dropped.
+
+    ``time_seconds``/``solver_solve_seconds`` vary run to run and
+    ``cache_hit`` depends on which process solved first, so record
+    equality between the serial and distributed sweeps is judged on
+    everything else (outcome, mapping, counters).
+    """
+    comparable = []
+    for record in records:
+        data = dict(record.to_dict())
+        for key in ("time_seconds", "solver_solve_seconds", "cache_hit"):
+            data.pop(key, None)
+        comparable.append(data)
+    return comparable
+
+
+def bench_distributed(architectures: Optional[Sequence[str]] = None,
+                      count: int = 4, seed: int = 0, max_width: int = 8,
+                      template: str = "dsp", random_probes: int = 32,
+                      workers: int = 2, shard_size: int = 2) -> dict:
+    """Measure the distributed sweep against the serial baseline.
+
+    Runs the same benchmark grid twice: once through the in-process
+    :func:`~repro.engine.parallel.run_sweep` (workers=1, the ground
+    truth) and once through :func:`~repro.engine.distributed.
+    run_distributed_sweep` with ``workers`` loopback worker processes.
+    ``records_equal`` is 1.0 when the distributed merge reproduced the
+    serial records exactly (modulo wall-clock fields) — the determinism
+    property the CI gate holds at 1.0.
+    """
+    from repro.engine.distributed import run_distributed_sweep
+    from repro.engine.parallel import SessionSpec, run_sweep
+    from repro.harness.runner import ExperimentConfig
+    from repro.workloads.generator import ARCHITECTURE_WORKLOADS, sample_workloads
+
+    if architectures is None:
+        architectures = sorted(ARCHITECTURE_WORKLOADS)
+    benchmarks = []
+    for architecture in architectures:
+        benchmarks.extend(sample_workloads(architecture, count, seed=seed,
+                                           max_width=max_width))
+    if not benchmarks:
+        raise ValueError("the distributed bench needs at least one benchmark")
+
+    config = ExperimentConfig(template=template, random_probes=random_probes)
+    spec = SessionSpec(enable_cache=False, random_probes=random_probes)
+
+    serial_start = time.perf_counter()
+    serial = run_sweep(benchmarks, config, workers=1, session_spec=spec)
+    serial_seconds = time.perf_counter() - serial_start
+
+    distributed_start = time.perf_counter()
+    distributed = run_distributed_sweep(benchmarks, config, workers=workers,
+                                        session_spec=spec,
+                                        shard_size=shard_size)
+    distributed_seconds = time.perf_counter() - distributed_start
+
+    records_equal = (_comparable_records(serial.records)
+                     == _comparable_records(distributed.records))
+    rate = len(distributed.records) / distributed_seconds \
+        if distributed_seconds else 0.0
+    return {
+        "workers": workers,
+        "shard_size": shard_size,
+        "benchmarks": len(benchmarks),
+        "serial_seconds": serial_seconds,
+        "distributed_seconds": distributed_seconds,
+        "records_per_second": rate,
+        "speedup_vs_serial": serial_seconds / distributed_seconds
+        if distributed_seconds else 0.0,
+        "records_equal": 1.0 if records_equal else 0.0,
+        "telemetry": distributed.telemetry,
+    }
+
+
 def run_bench(architectures: Optional[Sequence[str]] = None,
               count: int = 4, seed: int = 0, max_width: int = 8,
               template: str = "dsp", random_probes: int = 32,
               throughput_assignments: int = 4096,
               serve: bool = True, serve_requests: int = 32,
               serve_workers: int = 2,
-              serve_cold_requests: int = 4) -> dict:
+              serve_cold_requests: int = 4,
+              distributed: bool = True,
+              distributed_workers: int = 2) -> dict:
     """Run the bench suite and return the snapshot payload."""
     from repro.engine.session import MappingSession
     from repro.harness.runner import ExperimentConfig
@@ -372,6 +456,11 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
                                 workers=serve_workers,
                                 cold_requests=serve_cold_requests) \
         if serve else None
+    distributed_section = bench_distributed(
+        architectures=architectures, count=count, seed=seed,
+        max_width=max_width, template=template,
+        random_probes=random_probes,
+        workers=distributed_workers) if distributed else None
     return {
         "revision": git_revision(),
         "tool": "lakeroad bench",
@@ -406,6 +495,7 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
         "probes": probes,
         "probe_throughput": throughput,
         "serve": serve_section,
+        "distributed": distributed_section,
         "designs": designs,
     }
 
@@ -441,6 +531,8 @@ DEFAULT_DIFF_THRESHOLDS: Dict[str, tuple] = {
     "serve.speedup_vs_cold": ("higher", 0.5),
     "serve.serve_warm.requests_per_second": ("higher", 0.5),
     "serve.serve_warm.p95_latency_seconds": ("lower", 2.0),
+    "distributed.records_equal": ("higher", 0.0),
+    "distributed.records_per_second": ("higher", 0.5),
 }
 
 

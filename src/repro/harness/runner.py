@@ -74,6 +74,23 @@ class ExperimentConfig:
     def timeout_for(self, architecture: str) -> float:
         return budget_mod.timeout_for(architecture, self.timeout_seconds)
 
+    def to_dict(self) -> dict:
+        """A plain-dict form (JSON-able); the distributed coordinator
+        ships this so every worker runs the exact same knobs."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild from :meth:`to_dict` output, ignoring unknown keys so
+        configs from newer coordinators still load."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        timeouts = kwargs.get("timeout_seconds")
+        if isinstance(timeouts, dict):
+            kwargs["timeout_seconds"] = {str(arch): float(value)
+                                         for arch, value in timeouts.items()}
+        return cls(**kwargs)
+
 
 @dataclass
 class MappingRecord:

@@ -39,6 +39,22 @@ class WorkloadSpec:
     preadd_subtract: bool = False
     post_op: Optional[str] = None  # Verilog operator applied after the multiply
 
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON wire form (the distributed sweep ships benchmarks as
+        plain dicts, not pickles)."""
+        return {"name": self.name, "expression": self.expression,
+                "inputs": list(self.inputs), "has_preadd": self.has_preadd,
+                "preadd_subtract": self.preadd_subtract,
+                "post_op": self.post_op}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        return cls(name=data["name"], expression=data["expression"],
+                   inputs=tuple(data["inputs"]),
+                   has_preadd=bool(data.get("has_preadd", False)),
+                   preadd_subtract=bool(data.get("preadd_subtract", False)),
+                   post_op=data.get("post_op"))
+
 
 def _xilinx_forms() -> List[WorkloadSpec]:
     forms: List[WorkloadSpec] = []
@@ -106,6 +122,21 @@ class Microbenchmark:
         sign_tag = "s" if self.signed else "u"
         self.name = f"{self.form.name}_w{self.width}_p{self.stages}_{sign_tag}"
         self.verilog = self._generate_verilog()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON wire form.  Only the five init fields travel — ``name``
+        and ``verilog`` are derived deterministically in ``__post_init__``,
+        so the receiving side regenerates byte-identical sources."""
+        return {"architecture": self.architecture,
+                "form": self.form.to_dict(), "width": self.width,
+                "stages": self.stages, "signed": self.signed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Microbenchmark":
+        return cls(architecture=data["architecture"],
+                   form=WorkloadSpec.from_dict(data["form"]),
+                   width=int(data["width"]), stages=int(data["stages"]),
+                   signed=bool(data["signed"]))
 
     def _generate_verilog(self) -> str:
         width = self.width

@@ -4,6 +4,7 @@ schema-version fallback, corruption quarantine, and the tiered layering."""
 import os
 import subprocess
 import sys
+import time
 import warnings
 from pathlib import Path
 
@@ -282,6 +283,100 @@ class TestLruEviction:
         assert tiered.prune(max_entries=1) == 3
         assert len(disk) == 1
         tiered.close()
+
+
+class _FakeClock:
+    """A settable stand-in for ``time.time`` (simulates clock steps)."""
+
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMonotonicRecency:
+    """Recency stamps are clamped strictly increasing per process, so a
+    backwards wall-clock step (NTP correction, VM migration) cannot make
+    freshly-touched entries look like the coldest ones."""
+
+    def test_backwards_clock_step_does_not_evict_hot_entries(
+            self, tmp_path, monkeypatch):
+        clock = _FakeClock(900.0)
+        monkeypatch.setattr(time, "time", clock)
+        cache = DiskSynthesisCache(tmp_path, max_entries=2)
+        cache.put(("a",), "a")
+        clock.now = 1000.0
+        cache.put(("b",), "b")
+        clock.now = 100.0  # the clock steps backwards
+        assert cache.get(("a",)) == "a"  # touched after the step: hottest
+        cache.put(("c",), "c")  # over the cap: one entry must go
+        # The clamp keeps A's recency above B's pre-step stamp, so the
+        # stale B is evicted — an unclamped time.time() would stamp the
+        # just-touched A at 100 and evict it first.
+        assert cache.get(("a",)) == "a"
+        assert cache.get(("c",)) == "c"
+        assert cache.get(("b",)) is None
+        cache.close()
+
+    def test_prune_by_age_survives_backwards_clock_step(
+            self, tmp_path, monkeypatch):
+        clock = _FakeClock(900.0)
+        monkeypatch.setattr(time, "time", clock)
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(("old",), "old")
+        clock.now = 1000.0
+        cache.put(("new",), "new")
+        clock.now = 100.0  # the clock steps backwards
+        # The clamped "now" stays at ~1000, so exactly the entry unused
+        # for longer than 50s ages out.  An unclamped prune would compute
+        # a cutoff of 50 and remove nothing.
+        removed = cache.prune(max_age_seconds=50.0)
+        assert removed == 1
+        assert cache.get(("new",)) == "new"
+        assert cache.get(("old",)) is None
+        cache.close()
+
+
+class TestExportImport:
+    def test_export_import_round_trip_local_wins(self, tmp_path):
+        source = DiskSynthesisCache(tmp_path / "src")
+        for index in range(3):
+            source.put(("key", index), f"value-{index}")
+        rows = source.export_entries()
+        assert len(rows) == 3
+        assert [row[2] for row in rows] == sorted(row[2] for row in rows)
+
+        target = DiskSynthesisCache(tmp_path / "dst")
+        target.put(("key", 0), "local-wins")
+        inserted = target.import_entries(
+            [(key, blob) for key, blob, _ in rows])
+        assert inserted == 2  # ("key", 0) collided: the local copy stays
+        assert target.get(("key", 0)) == "local-wins"
+        assert target.get(("key", 1)) == "value-1"
+        assert target.get(("key", 2)) == "value-2"
+        source.close()
+        target.close()
+
+    def test_export_since_watermark_is_incremental(self, tmp_path):
+        cache = DiskSynthesisCache(tmp_path)
+        cache.put(("early",), 1)
+        watermark = cache.export_entries()[-1][2]
+        cache.put(("late",), 2)
+        rows = cache.export_entries(since=watermark)
+        assert [row[0] for row in rows] == [canonical_key(("late",))]
+        cache.close()
+
+    def test_import_respects_max_entries(self, tmp_path):
+        source = DiskSynthesisCache(tmp_path / "src")
+        for index in range(5):
+            source.put(("key", index), index)
+        rows = source.export_entries()
+        target = DiskSynthesisCache(tmp_path / "dst", max_entries=3)
+        target.import_entries([(key, blob) for key, blob, _ in rows])
+        assert len(target) == 3
+        source.close()
+        target.close()
 
 
 class TestCacheCli:

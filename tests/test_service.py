@@ -243,6 +243,45 @@ class TestSocketLayer:
         assert [_comparable(r) for r in serial] == \
             [_comparable(r) for r in served]
 
+    def test_request_larger_than_64k_default_asyncio_limit(self, tmp_path):
+        # Regression: the server used to leave asyncio's default 64 KiB
+        # stream limit in place, so a large inlined Verilog source raised
+        # LimitOverrunError and the connection just died.
+        socket_path = tmp_path / "serve.sock"
+        padding = "// " + "x" * (96 * 1024) + "\n"
+        with SolverService(SessionSpec(), workers=1) as service:
+            with ServerThread(service, socket_path):
+                with ServiceClient(socket_path) as client:
+                    response = client.map_verilog(
+                        padding + MUL8, arch="intel-cyclone10lp",
+                        benchmark="mul8-padded", timeout=120)
+        assert response["ok"] is True
+        assert len(json.dumps({"verilog": padding + MUL8})) > 64 * 1024
+
+    def test_oversized_line_answered_with_error_not_dead_socket(
+            self, tmp_path):
+        import socket as socket_mod
+
+        socket_path = tmp_path / "serve.sock"
+        with SolverService(SessionSpec(), workers=1) as service:
+            with ServerThread(service, socket_path, limit=1024):
+                with socket_mod.socket(socket_mod.AF_UNIX,
+                                       socket_mod.SOCK_STREAM) as sock:
+                    sock.connect(str(socket_path))
+                    sock.settimeout(30)
+                    reader = sock.makefile("rb")
+                    oversized = json.dumps(
+                        {"id": 1, "op": "map", "verilog": "y" * 4096})
+                    sock.sendall(oversized.encode() + b"\n")
+                    error = json.loads(reader.readline())
+                    assert error["ok"] is False
+                    assert "limit" in error["error"]
+                    # The connection survives: the next request is served.
+                    sock.sendall(b'{"id": 2, "op": "ping"}\n')
+                    pong = json.loads(reader.readline())
+                    assert pong["ok"] is True
+                    assert pong["id"] == 2
+
     def test_malformed_requests_are_answered_not_fatal(self, tmp_path):
         socket_path = tmp_path / "serve.sock"
         with SolverService(SessionSpec(), workers=1) as service:
