@@ -211,6 +211,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--serve-cold-requests", type=int, default=4,
                         help="subprocess cold-start runs for the serve "
                              "baseline (default: 4)")
+    parser.add_argument("--no-qos", action="store_true",
+                        help="skip the service-QoS mixed-load section")
     parser.add_argument("--no-distributed", action="store_true",
                         help="skip the distributed-sweep section")
     parser.add_argument("--distributed-workers", type=int, default=2,
@@ -243,7 +245,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--socket", default=DEFAULT_SOCKET,
                         help=f"unix socket path (default: {DEFAULT_SOCKET})")
     parser.add_argument("--workers", type=int, default=2,
-                        help="solver worker processes (default: 2)")
+                        help="solver worker processes at startup (default: 2)")
+    parser.add_argument("--min-workers", type=int, default=None,
+                        help="elastic pool floor: idle workers above this "
+                             "are retired after a quiet period (default: "
+                             "--workers, i.e. no resizing)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="elastic pool ceiling: sustained backlog grows "
+                             "the pool up to this (default: --workers, i.e. "
+                             "no resizing)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="global cap on admitted-but-unfinished map "
+                             "requests; beyond it clients get a structured "
+                             "'overloaded' rejection with a retry hint "
+                             "(default: 256)")
+    parser.add_argument("--client-queue", type=int, default=None,
+                        help="per-client cap on admitted-but-unfinished map "
+                             "requests (default: 64)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent synthesis cache shared by the "
                              "workers and the front door (default: in-memory)")
@@ -268,7 +286,8 @@ def build_request_parser() -> argparse.ArgumentParser:
         prog="lakeroad request",
         description="Send one map request to a running 'lakeroad serve' "
                     "and print the MappingRecord as JSON. Exit codes mirror "
-                    "'lakeroad map': 0 success, 2 unsat, 3 timeout.")
+                    "'lakeroad map': 0 success, 2 unsat, 3 timeout; 6 means "
+                    "the client-side --deadline expired first.")
     parser.add_argument("verilog", help="behavioral Verilog file to map")
     parser.add_argument("--socket", default=DEFAULT_SOCKET,
                         help=f"unix socket path (default: {DEFAULT_SOCKET})")
@@ -287,6 +306,16 @@ def build_request_parser() -> argparse.ArgumentParser:
                              "(default: 1)")
     parser.add_argument("--validate", action="store_true",
                         help="simulation-validate the mapped design")
+    parser.add_argument("--deadline", type=float, default=600.0,
+                        help="client-side wall-clock limit in seconds; a "
+                             "request still unanswered when it expires "
+                             "exits with code 6 instead of blocking on a "
+                             "saturated server (default: 600)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="bounded retries when the server answers with "
+                             "a structured 'overloaded' rejection, sleeping "
+                             "its retry_after_ms hint between attempts "
+                             "(default: 3)")
     parser.add_argument("--stats", action="store_true",
                         help="also print the service's front-door statistics")
     return parser
@@ -649,10 +678,13 @@ def _main_sweep(argv) -> int:
 
 
 #: Distinct exit codes for the networked subcommands: 4 means "the peer is
-#: unreachable" (vs 1, a request that reached a server and failed there)
-#: and 5 means "the coordinator rejected this worker's handshake".
+#: unreachable" (vs 1, a request that reached a server and failed there),
+#: 5 means "the coordinator rejected this worker's handshake" and 6 means
+#: "the client-side deadline expired before the (reachable) server
+#: answered" — a saturated server, not a missing one.
 EXIT_UNREACHABLE = 4
 EXIT_REJECTED = 5
+EXIT_DEADLINE = 6
 
 
 def _sweep_worker(args, parser) -> int:
@@ -760,6 +792,7 @@ def _main_bench(argv) -> int:
                          serve_requests=args.serve_requests,
                          serve_workers=args.serve_workers,
                          serve_cold_requests=args.serve_cold_requests,
+                         qos=not args.no_qos,
                          distributed=not args.no_distributed,
                          distributed_workers=args.distributed_workers)
     path = write_snapshot(snapshot, args.output_dir)
@@ -790,6 +823,17 @@ def _main_bench(argv) -> int:
               f"p50 {warm['p50_latency_seconds'] * 1e3:.1f}ms / "
               f"p95 {warm['p95_latency_seconds'] * 1e3:.1f}ms, "
               f"{serve['warm_hit_rate']:.0%} warm hits", file=sys.stderr)
+    qos = snapshot.get("qos")
+    if qos is not None:
+        steady = qos["steady_contended"]
+        flooder = qos["flooder"]
+        print(f"qos: steady p50 {steady['p50_latency_seconds'] * 1e3:.1f}ms / "
+              f"p95 {steady['p95_latency_seconds'] * 1e3:.1f}ms under flood "
+              f"({qos['fairness_ratio']:.1f}x uncontended), flooder "
+              f"{flooder['rejection_rate']:.0%} rejected, "
+              f"pool peak {qos['pool_peak']:.0f} "
+              f"({qos['scale_ups']:.0f} up / {qos['scale_downs']:.0f} down)",
+              file=sys.stderr)
     distributed = snapshot.get("distributed")
     if distributed is not None:
         equal = "records equal" if distributed["records_equal"] >= 1.0 \
@@ -820,14 +864,34 @@ def _main_serve(argv) -> int:
         parser.error("--probes must be non-negative")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    min_workers = args.workers if args.min_workers is None else args.min_workers
+    max_workers = args.workers if args.max_workers is None else args.max_workers
+    if not (1 <= min_workers <= args.workers <= max_workers):
+        parser.error("worker bounds must satisfy 1 <= --min-workers <= "
+                     "--workers <= --max-workers")
+    if args.max_pending is not None and args.max_pending < 1:
+        parser.error("--max-pending must be at least 1")
+    if args.client_queue is not None and args.client_queue < 1:
+        parser.error("--client-queue must be at least 1")
 
     spec = SessionSpec(portfolio=args.portfolio, cache_dir=args.cache_dir,
                        enable_cache=not args.no_cache,
                        incremental=args.incremental,
                        incremental_verify=args.incremental_verify,
                        random_probes=args.probes)
-    service = SolverService(spec, workers=args.workers)
-    print(f"lakeroad serve: {args.workers} warm worker(s) on {args.socket} "
+    qos = {}
+    if args.max_pending is not None:
+        qos["max_pending"] = args.max_pending
+    if args.client_queue is not None:
+        qos["client_queue"] = args.client_queue
+    service = SolverService(spec, workers=args.workers,
+                            min_workers=min_workers,
+                            max_workers=max_workers, **qos)
+    pool_note = f"{args.workers} warm worker(s)" \
+        if min_workers == max_workers \
+        else (f"{args.workers} warm worker(s), elastic "
+              f"[{min_workers}, {max_workers}]")
+    print(f"lakeroad serve: {pool_note} on {args.socket} "
           "(SIGINT/SIGTERM drains and exits)", file=sys.stderr)
     try:
         run_server(service, args.socket)
@@ -839,7 +903,11 @@ def _main_serve(argv) -> int:
               f"{stats['front_memory_hits'] + stats['front_disk_hits']} "
               f"front-door hit(s), {stats['worker_cache_hits']} worker "
               f"cache hit(s), {stats['worker_restarts']} worker restart(s) "
-              f"({stats['warm_hit_rate']:.0%} warm)", file=sys.stderr)
+              f"({stats['warm_hit_rate']:.0%} warm); "
+              f"{stats['rejections']} rejection(s), "
+              f"{stats['scale_ups']} scale-up(s), "
+              f"{stats['scale_downs']} scale-down(s), "
+              f"peak pool {stats['pool_peak']}", file=sys.stderr)
     return 0
 
 
@@ -867,14 +935,23 @@ def _main_request(argv) -> int:
     if args.timeout is not None:
         payload["timeout"] = args.timeout
 
+    if args.deadline <= 0:
+        parser.error("--deadline must be positive")
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
     try:
         with ServiceClient(args.socket, connect_timeout=5.0) as client:
-            response = client.request(payload, timeout=600.0)
+            response = client.request(payload, timeout=args.deadline,
+                                      retry_overloaded=args.retries)
             stats = client.stats() if args.stats else None
     except FutureTimeoutError:
-        print(f"request to {args.socket} timed out after 600s",
+        # The server accepted the connection but did not answer in time —
+        # it is saturated or solving something hard, not unreachable.
+        print(f"request to {args.socket} exceeded the client deadline "
+              f"({args.deadline:g}s); the server is reachable but "
+              "saturated (raise --deadline, or retry later)",
               file=sys.stderr)
-        return EXIT_UNREACHABLE
+        return EXIT_DEADLINE
     except (OSError, ConnectionError) as exc:
         print(f"cannot reach a lakeroad serve on {args.socket}: {exc}",
               file=sys.stderr)
@@ -883,6 +960,12 @@ def _main_request(argv) -> int:
         return EXIT_UNREACHABLE
 
     if not response.get("ok"):
+        if response.get("error") == "overloaded":
+            print(f"request rejected after {args.retries} retry(ies): the "
+                  "server is over its pending cap "
+                  f"(retry_after_ms={response.get('retry_after_ms')})",
+                  file=sys.stderr)
+            return 1
         print(f"request failed: {response.get('error')}", file=sys.stderr)
         return 1
     record = response["record"]

@@ -5,8 +5,8 @@ Every ``lakeroad map`` invocation pays import + vendor-library load +
 solver cold-start — fine for one hard instance, fatal for heavy traffic
 over many *small* queries.  This module keeps the expensive state alive:
 
-* **Worker pool** — a fixed set of long-lived worker processes, each
-  holding one warm :class:`~repro.engine.session.MappingSession` built from
+* **Worker pool** — a set of long-lived worker processes, each holding
+  one warm :class:`~repro.engine.session.MappingSession` built from
   a pickled :class:`~repro.engine.parallel.SessionSpec` (the same recipe
   sharded sweeps use).  The session — its in-memory LRU, primitive
   library, solver portfolio and the persistent-solver machinery behind the
@@ -29,10 +29,35 @@ over many *small* queries.  This module keeps the expensive state alive:
   - **crash-isolated**: a dead worker is restarted and its queued and
     in-flight requests are re-dispatched — callers never see the crash.
 
+* **QoS layer** — the front door is also a fair, bounded, elastic queue:
+
+  - **per-client fairness**: submissions are tagged with a client id and
+    held in per-client FIFO queues; a deficit-round-robin scheduler hands
+    work to the pool one quantum per client per rotation, so a flooding
+    client cannot starve the others (order within a client is preserved);
+  - **bounded admission**: a global ``max_pending`` cap and a per-client
+    ``client_queue`` cap; a submission over either raises
+    :class:`ServiceOverloaded` carrying a backlog-derived
+    ``retry_after_ms`` hint, which the socket layer turns into a
+    structured ``{"error": "overloaded", "retry_after_ms": ...}`` reply
+    on a still-live connection;
+  - **elastic pool**: with ``max_workers > min_workers`` the dispatcher
+    spawns extra workers under sustained backlog and retires idle ones
+    after a quiet period — resize decisions run *after* assignment in the
+    same dispatcher pass, so a worker that just received work is never a
+    retirement victim;
+  - **shared portfolio racing**: :meth:`SolverService.portfolio` returns a
+    :class:`ServicePortfolio` whose concurrent SAT races borrow *idle*
+    pool workers over the existing pipes instead of forking a fresh
+    process per query (falling back to the in-process thread race when
+    every worker is busy).
+
 * **Socket layer** — an asyncio unix-domain-socket server speaking
   newline-delimited JSON (:func:`run_server`, the ``lakeroad serve``
   subcommand) plus a small pipelining client (:class:`ServiceClient`, the
-  ``lakeroad request`` subcommand).
+  ``lakeroad request`` subcommand).  Control-plane ops (``ping``,
+  ``stats``) never pass through admission — they are answered inline even
+  when the map queue is saturated.
 
 **Determinism contract.**  Workers execute the same per-request unit of
 work as the serial sweep (:func:`repro.harness.runner.map_benchmark`'s
@@ -40,12 +65,14 @@ body), the front door derives byte-identical cache keys via
 :func:`synthesis_cache_key`, and shared results are re-stamped with each
 requester's benchmark metadata exactly as the session cache does — so
 served records equal serial ``run_sweep`` records (modulo wall-clock
-fields) in all four ``incremental`` × ``incremental_verify`` modes.
+fields) in all four ``incremental`` × ``incremental_verify`` modes,
+regardless of scheduling order or pool resizes.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import multiprocessing
 import os
@@ -58,8 +85,9 @@ import warnings
 from collections import Counter, OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
+from functools import partial
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.budget import TIMEOUT as TIMEOUT_STATUS
 from repro.engine.budget import Budget
@@ -70,8 +98,11 @@ from repro.harness.runner import (
     MappingRecord,
     record_from_result,
 )
+from repro.sat.portfolio import SatPortfolio
+from repro.sat.solver import SatResult
 
 __all__ = ["MapRequest", "SolverService", "ServiceClient", "ServerThread",
+           "ServiceOverloaded", "ServicePortfolio",
            "run_server", "DEFAULT_SOCKET", "DEFAULT_STREAM_LIMIT"]
 
 #: Default unix-socket path for ``lakeroad serve`` / ``lakeroad request``.
@@ -88,6 +119,27 @@ DEFAULT_STREAM_LIMIT = 16 * 1024 * 1024
 #: Per-worker cap on requests written to the pipe but not yet answered;
 #: bounds pipe-buffer usage so the dispatcher's sends never block.
 MAX_PIPE_BACKLOG = 16
+
+#: Default global cap on admitted-but-unfinished map submissions.
+DEFAULT_MAX_PENDING = 256
+
+#: Default per-client cap on admitted-but-unfinished map submissions.
+DEFAULT_CLIENT_QUEUE = 64
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service refused a submission because a pending cap is full.
+
+    ``retry_after_ms`` is the server's backlog-derived hint for when a
+    retry is likely to be admitted; the socket layer forwards it verbatim
+    in the structured ``overloaded`` reply.
+    """
+
+    def __init__(self, retry_after_ms: int,
+                 reason: str = "pending queue is full") -> None:
+        super().__init__(f"service overloaded: {reason} "
+                         f"(retry in {retry_after_ms} ms)")
+        self.retry_after_ms = retry_after_ms
 
 
 # --------------------------------------------------------------------------- #
@@ -185,6 +237,29 @@ def _restamp(payload: Dict[str, Any], request: MapRequest,
 # --------------------------------------------------------------------------- #
 # Worker process
 # --------------------------------------------------------------------------- #
+def _race_in_worker(conn, race_id: int, member_name: str, cnf,
+                    deadline: Optional[float],
+                    assumptions: Sequence[int]) -> None:
+    """Run one portfolio race member inside a service worker.
+
+    ``conn.poll`` doubles as the cooperative ``should_stop`` hook: while a
+    worker is racing, the only message the front door will send it is the
+    ``race_cancel`` for this race (or a ``stop`` at shutdown), so *any*
+    readable byte on the pipe means the race is over.
+    """
+    from repro.engine.backends import backend_by_name
+
+    try:
+        backend = backend_by_name(member_name)
+        result = backend.solve(cnf, deadline, list(assumptions),
+                               should_stop=conn.poll)
+        payload = ("race_result", race_id, member_name, result, None)
+    except Exception as exc:  # noqa: BLE001 - crosses the pipe
+        payload = ("race_result", race_id, member_name, None,
+                   f"{type(exc).__name__}: {exc}")
+    conn.send(payload)
+
+
 def _worker_main(spec: SessionSpec, conn) -> None:
     """Worker body: serve requests on one warm session until told to stop.
 
@@ -214,6 +289,18 @@ def _worker_main(spec: SessionSpec, conn) -> None:
                     except (BrokenPipeError, OSError):
                         pass
                     return
+                if message[0] == "race":
+                    _, race_id, member_name, cnf, deadline, assumptions = message
+                    try:
+                        _race_in_worker(conn, race_id, member_name, cnf,
+                                        deadline, assumptions)
+                    except (BrokenPipeError, OSError):
+                        return
+                    continue
+                if message[0] == "race_cancel":
+                    # A cancel for a race this worker already finished (the
+                    # winner's reply crossed it on the pipe) — ignore.
+                    continue
                 _, request_id, request = message
                 try:
                     record = _serve_request(session, request)
@@ -250,19 +337,44 @@ class _Pending:
                  request_id: int) -> None:
         self.key = key
         self.request = request
-        #: ``(future, request)`` pairs: coalesced duplicates may carry
-        #: different benchmark metadata (sign twins share a fingerprint),
-        #: so each waiter's record is stamped from its own request.
-        self.waiters: List[Tuple[Future, MapRequest]] = []
+        #: ``(future, request, client)`` triples: coalesced duplicates may
+        #: carry different benchmark metadata (sign twins share a
+        #: fingerprint), so each waiter's record is stamped from its own
+        #: request; the client tag releases that waiter's admission slot
+        #: when the future resolves.
+        self.waiters: List[Tuple[Future, MapRequest, str]] = []
         self.affinity = affinity
         self.request_id = request_id
         self.submitted_at = time.monotonic()
 
 
+class _Race:
+    """One portfolio race borrowed onto idle pool workers."""
+
+    __slots__ = ("race_id", "cnf", "deadline", "assumptions", "names",
+                 "future", "members", "last_result")
+
+    def __init__(self, race_id: int, cnf, deadline: Optional[float],
+                 assumptions: Tuple[int, ...],
+                 names: Tuple[str, ...]) -> None:
+        self.race_id = race_id
+        self.cnf = cnf
+        self.deadline = deadline
+        self.assumptions = assumptions
+        self.names = names
+        #: Resolves to ``(SatResult, winner_name)``, or ``None`` when no
+        #: idle worker was available (the caller should race locally).
+        self.future: "Future[Optional[Tuple[SatResult, str]]]" = Future()
+        #: member name -> the worker handle running it (live members only).
+        self.members: Dict[str, "_WorkerHandle"] = {}
+        self.last_result: Optional[SatResult] = None
+
+
 class _WorkerHandle:
     """A worker process, its pipe, and its share of the request queue."""
 
-    __slots__ = ("index", "process", "conn", "queue", "sent", "served")
+    __slots__ = ("index", "process", "conn", "queue", "sent", "served",
+                 "stopping", "racing", "last_active")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -274,6 +386,14 @@ class _WorkerHandle:
         #: a crash re-dispatches in the original order).
         self.sent: "OrderedDict[int, _Pending]" = OrderedDict()
         self.served = 0
+        #: A scale-down ``stop`` has been sent; the handle takes no new
+        #: work and is removed from the pool when its pipe reaches EOF.
+        self.stopping = False
+        #: The race id this worker is currently solving for, if any.
+        self.racing: Optional[int] = None
+        #: Last time this worker was given or finished work (spawn counts),
+        #: driving the idle-retirement clock.
+        self.last_active = time.monotonic()
 
     @property
     def outstanding(self) -> int:
@@ -281,35 +401,88 @@ class _WorkerHandle:
 
 
 class SolverService:
-    """The warm-pool front door: dedup, cache check, affinity, crash restart.
+    """The warm-pool front door: dedup, cache check, affinity, crash restart,
+    per-client fair scheduling, bounded admission and an elastic pool.
 
     Thread-safe: ``submit`` may be called from any thread (the asyncio
     socket layer calls it from executor threads); a single dispatcher
     thread owns the worker pipes.  Close the service (or use it as a
     context manager) to drain in-flight work, stop the workers cleanly and
     collect their session statistics.
+
+    QoS knobs (all optional; the defaults reproduce the fixed-pool,
+    effectively-unbounded behaviour of earlier revisions):
+
+    * ``min_workers`` / ``max_workers`` — the elastic pool range; both
+      default to ``workers`` (no resizing).  Under sustained backlog
+      (unassigned work for ``scale_up_after`` seconds) the pool grows one
+      worker at a time; a worker idle for ``idle_retire_seconds`` with the
+      pool above ``min_workers`` is retired after its session statistics
+      are collected.
+    * ``max_pending`` / ``client_queue`` — global and per-client caps on
+      admitted-but-unfinished submissions; over either, ``submit`` raises
+      :class:`ServiceOverloaded` with a ``retry_after_ms`` hint.
+    * ``fair_quantum`` — submissions each client may dispatch per
+      round-robin rotation (deficit round robin with unit-cost requests).
     """
 
     def __init__(self, spec: Optional[SessionSpec] = None, workers: int = 2,
-                 max_pipe_backlog: int = MAX_PIPE_BACKLOG) -> None:
+                 max_pipe_backlog: int = MAX_PIPE_BACKLOG, *,
+                 min_workers: Optional[int] = None,
+                 max_workers: Optional[int] = None,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 client_queue: int = DEFAULT_CLIENT_QUEUE,
+                 fair_quantum: int = 1,
+                 scale_up_after: float = 0.5,
+                 idle_retire_seconds: float = 30.0) -> None:
         if workers < 1:
             raise ValueError("a service needs at least one worker")
         self.spec = spec if spec is not None else SessionSpec()
         self.workers = workers
         self.max_pipe_backlog = max_pipe_backlog
+        self.min_workers = workers if min_workers is None else int(min_workers)
+        self.max_workers = workers if max_workers is None else int(max_workers)
+        if not (1 <= self.min_workers <= workers <= self.max_workers):
+            raise ValueError(
+                f"worker bounds must satisfy 1 <= min_workers <= workers "
+                f"<= max_workers, got min={self.min_workers} "
+                f"workers={workers} max={self.max_workers}")
+        if max_pending < 1 or client_queue < 1:
+            raise ValueError("pending caps must be at least 1")
+        if fair_quantum < 1:
+            raise ValueError("fair_quantum must be at least 1")
+        self.max_pending = max_pending
+        self.client_queue = client_queue
+        self.fair_quantum = fair_quantum
+        self.scale_up_after = scale_up_after
+        self.idle_retire_seconds = idle_retire_seconds
 
         self._lock = threading.Lock()
         self._inflight: Dict[Any, _Pending] = {}
-        self._submissions: Deque[_Pending] = deque()
+        #: Per-client FIFO queues of not-yet-assigned submissions plus the
+        #: round-robin rotation the fair scheduler walks.
+        self._client_queues: Dict[str, Deque[_Pending]] = {}
+        self._rr_order: Deque[str] = deque()
+        self._pending_total = 0
+        self._client_pending: Counter = Counter()
+        self._client_stats: Dict[str, Counter] = {}
         self._affinity: Dict[str, int] = {}
         self._next_request_id = 0
+        self._next_race_id = 0
+        self._race_requests: Deque[_Race] = deque()
+        self._races: Dict[int, _Race] = {}
         self._closed = False
         self._failed: Optional[str] = None
         self._drain_deadline: Optional[float] = None
         self._stats: Counter = Counter()
         self._worker_cache_stats: Counter = Counter()
         self._worker_portfolio_wins: Counter = Counter()
-        self._restarts_left = max(8, workers * 4)
+        self._restarts_left = max(8, self.max_workers * 4)
+        #: EMA of observed solve seconds, feeding the retry_after_ms hint.
+        self._solve_ema: Optional[float] = None
+        #: When the scheduler first saw unassignable backlog (scale-up
+        #: hysteresis); None while the backlog is empty.
+        self._backlog_since: Optional[float] = None
 
         # Front-door result cache: an in-memory payload LRU, falling
         # through to the spec's persistent disk cache when one exists.  The
@@ -331,11 +504,23 @@ class SolverService:
         self._selector.register(self._waker_r, selectors.EVENT_READ,
                                 data=None)
         self._pool: List[_WorkerHandle] = []
+        self._by_index: Dict[int, _WorkerHandle] = {}
+        self._next_worker_index = 0
         context = _service_context()
-        for index in range(workers):
-            handle = _WorkerHandle(index)
+        for _ in range(workers):
+            handle = _WorkerHandle(self._next_worker_index)
+            self._next_worker_index += 1
             self._spawn(handle, context)
             self._pool.append(handle)
+            self._by_index[handle.index] = handle
+        self._stats["pool_peak"] = workers
+        # An elastic pool needs a fast hysteresis clock; a fixed pool can
+        # keep the relaxed quarter-second tick.
+        if self.max_workers > self.min_workers:
+            self._tick = min(0.25, max(0.005, min(scale_up_after,
+                                                  idle_retire_seconds) / 4.0))
+        else:
+            self._tick = 0.25
         self._thread = threading.Thread(target=self._dispatch_loop,
                                         name="lakeroad-service-dispatcher",
                                         daemon=True)
@@ -344,8 +529,16 @@ class SolverService:
     # ------------------------------------------------------------------ #
     # Submission (any thread)
     # ------------------------------------------------------------------ #
-    def submit(self, request: MapRequest) -> "Future[MappingRecord]":
-        """Submit one request; the future resolves to a MappingRecord."""
+    def submit(self, request: MapRequest,
+               client: str = "") -> "Future[MappingRecord]":
+        """Submit one request; the future resolves to a MappingRecord.
+
+        ``client`` tags the submission for fair scheduling and the
+        per-client pending cap (the socket layer passes a per-connection
+        id; direct library callers share the default tag).  Raises
+        :class:`ServiceOverloaded` when a pending cap is full — coalesced
+        duplicates and front-cache hits are admitted for free.
+        """
         future: "Future[MappingRecord]" = Future()
         with self._lock:
             if self._closed:
@@ -364,30 +557,39 @@ class SolverService:
         caching = self._front_cache is not None and request.use_cache is not False
         with self._lock:
             self._stats["requests"] += 1
+            self._client_counter(client)["submitted"] += 1
             pending = self._inflight.get(key)
             if pending is not None:
-                pending.waiters.append((future, request))
+                pending.waiters.append((future, request, client))
                 self._stats["coalesced"] += 1
                 return future
             if caching:
                 payload = self._cache_get(key)
                 if payload is not None:
+                    self._client_counter(client)["served"] += 1
                     future.set_result(_restamp(
                         payload, request, cache_hit=True,
                         time_seconds=time.monotonic() - started))
                     return future
+            self._admit(client)
             self._next_request_id += 1
             pending = _Pending(key, request, affinity, self._next_request_id)
-            pending.waiters.append((future, request))
+            pending.waiters.append((future, request, client))
             self._inflight[key] = pending
-            self._submissions.append(pending)
+            queue = self._client_queues.get(client)
+            if queue is None:
+                queue = deque()
+                self._client_queues[client] = queue
+                self._rr_order.append(client)
+            queue.append(pending)
         self._wake()
         return future
 
     def map_benchmark(self, benchmark,
-                      config: Optional[ExperimentConfig] = None
-                      ) -> "Future[MappingRecord]":
-        return self.submit(MapRequest.from_benchmark(benchmark, config))
+                      config: Optional[ExperimentConfig] = None,
+                      client: str = "") -> "Future[MappingRecord]":
+        return self.submit(MapRequest.from_benchmark(benchmark, config),
+                           client=client)
 
     def map_many(self, benchmarks: Sequence,
                  config: Optional[ExperimentConfig] = None
@@ -398,6 +600,48 @@ class SolverService:
         futures = [self.map_benchmark(benchmark, config)
                    for benchmark in benchmarks]
         return [future.result() for future in futures]
+
+    def _client_counter(self, client: str) -> Counter:
+        """The per-client QoS counters (lock held)."""
+        counter = self._client_stats.get(client)
+        if counter is None:
+            counter = Counter()
+            self._client_stats[client] = counter
+        return counter
+
+    def _admit(self, client: str) -> None:
+        """Reserve one pending slot for ``client`` or raise (lock held)."""
+        if self._pending_total >= self.max_pending:
+            reason = f"global pending cap ({self.max_pending}) reached"
+        elif self._client_pending[client] >= self.client_queue:
+            reason = (f"client {client or '<default>'!r} pending cap "
+                      f"({self.client_queue}) reached")
+        else:
+            self._pending_total += 1
+            self._client_pending[client] += 1
+            return
+        self._stats["rejections"] += 1
+        self._client_counter(client)["rejected"] += 1
+        raise ServiceOverloaded(self._retry_after_ms(), reason)
+
+    def _retry_after_ms(self) -> int:
+        """Backlog-derived retry hint (lock held): roughly one average
+        solve per backlog slot per worker, clamped to [50 ms, 10 s]."""
+        ema = self._solve_ema if self._solve_ema is not None else 0.25
+        pool = max(1, len(self._pool))
+        estimate = ema * (1.0 + self._pending_total / pool)
+        return int(min(10_000.0, max(50.0, estimate * 1000.0)))
+
+    def _release_slots(self, pending: _Pending) -> None:
+        """Return every waiter's admission slot (lock held)."""
+        for _, _, client in pending.waiters:
+            if self._pending_total > 0:
+                self._pending_total -= 1
+            if self._client_pending[client] <= 1:
+                del self._client_pending[client]
+            else:
+                self._client_pending[client] -= 1
+            self._client_counter(client)["served"] += 1
 
     def _request_keys(self, request: MapRequest) -> Tuple[Any, str]:
         """The dedup/cache key and the affinity key for one request.
@@ -446,6 +690,130 @@ class SolverService:
         return None
 
     # ------------------------------------------------------------------ #
+    # Shared portfolio racing
+    # ------------------------------------------------------------------ #
+    def race_cnf(self, cnf, deadline: Optional[float] = None,
+                 assumptions: Sequence[int] = (),
+                 names: Optional[Sequence[str]] = None
+                 ) -> Optional[Tuple[SatResult, str]]:
+        """Race SAT backends on *idle* pool workers (blocking).
+
+        Returns ``(result, winner_name)`` — ``winner_name`` is ``"none"``
+        when every racer came back unknown — or ``None`` when no idle
+        worker could be borrowed (or the service is closing), in which
+        case the caller should run its race locally.
+        """
+        if names is None:
+            from repro.engine.backends import default_backend_names
+
+            names = default_backend_names()
+        with self._lock:
+            if self._closed or self._failed is not None:
+                return None
+            self._next_race_id += 1
+            race = _Race(self._next_race_id, cnf, deadline,
+                         tuple(assumptions), tuple(names))
+            self._race_requests.append(race)
+        self._wake()
+        return race.future.result()
+
+    def portfolio(self, names: Optional[Sequence[str]] = None
+                  ) -> "ServicePortfolio":
+        """A portfolio whose concurrent races borrow idle pool workers."""
+        members = None
+        if names:
+            from repro.engine.backends import backend_by_name
+
+            members = [backend_by_name(name) for name in names]
+        return ServicePortfolio(self, members)
+
+    def _assign_races(self) -> None:
+        """Hand queued races to idle workers (dispatcher thread).
+
+        Runs after map assignment in the same pass, so "idle" really means
+        idle — a worker that was just given map work is never borrowed.
+        Races are never queued: with no idle worker the caller is told to
+        race locally instead (``None`` sentinel), keeping map latency and
+        race latency independent.
+        """
+        with self._lock:
+            if not self._race_requests:
+                return
+            fresh = list(self._race_requests)
+            self._race_requests.clear()
+        for race in fresh:
+            idle = [handle for handle in self._pool
+                    if not handle.stopping and handle.racing is None
+                    and handle.outstanding == 0]
+            expired = race.deadline is not None \
+                and time.monotonic() >= race.deadline
+            started: Dict[str, _WorkerHandle] = {}
+            if idle and not expired:
+                for name, handle in zip(race.names, idle):
+                    try:
+                        handle.conn.send(("race", race.race_id, name,
+                                          race.cnf, race.deadline,
+                                          race.assumptions))
+                    except (BrokenPipeError, OSError):
+                        self._restart(handle)
+                        continue
+                    handle.racing = race.race_id
+                    started[name] = handle
+            if not started:
+                with self._lock:
+                    self._stats["race_fallbacks"] += 1
+                if not race.future.done():
+                    race.future.set_result(None)
+                continue
+            race.members = started
+            self._races[race.race_id] = race
+            with self._lock:
+                self._stats["races"] += 1
+
+    def _finish_race_member(self, race: _Race, name: str,
+                            result: Optional[SatResult],
+                            error: Optional[str]) -> None:
+        """Fold one member's answer into the race (dispatcher thread)."""
+        race.members.pop(name, None)
+        finished = not race.members
+        if race.future.done():
+            if finished:
+                self._races.pop(race.race_id, None)
+            return
+        if error is not None:
+            warnings.warn(f"service race member {name!r} crashed: {error}",
+                          RuntimeWarning, stacklevel=2)
+        elif result is not None and not result.is_unknown:
+            race.future.set_result((result, name))
+            for other in race.members.values():
+                try:
+                    other.conn.send(("race_cancel", race.race_id))
+                except (BrokenPipeError, OSError):
+                    pass
+            if finished:
+                self._races.pop(race.race_id, None)
+            return
+        elif result is not None:
+            race.last_result = result
+        if finished:
+            self._races.pop(race.race_id, None)
+            race.future.set_result(
+                (race.last_result or SatResult(status="unknown"), "none"))
+
+    def _abort_races(self) -> None:
+        """Resolve every unfinished race with the local-fallback sentinel."""
+        with self._lock:
+            queued = list(self._race_requests)
+            self._race_requests.clear()
+            running = list(self._races.values())
+            self._races.clear()
+        for race in itertools.chain(queued, running):
+            if not race.future.done():
+                race.future.set_result(None)
+        for handle in self._pool:
+            handle.racing = None
+
+    # ------------------------------------------------------------------ #
     # Dispatcher thread
     # ------------------------------------------------------------------ #
     def _wake(self) -> None:
@@ -457,7 +825,7 @@ class SolverService:
     def _dispatch_loop(self) -> None:
         try:
             while True:
-                events = self._selector.select(timeout=0.25)
+                events = self._selector.select(timeout=self._tick)
                 for key, _ in events:
                     if key.data is None:
                         try:
@@ -467,11 +835,16 @@ class SolverService:
                     else:
                         self._drain_worker(key.data)
                 self._assign_submissions()
-                for handle in self._pool:
+                self._assign_races()
+                # Resize *after* assignment: a worker that just received
+                # work has outstanding > 0 and cannot be picked as an
+                # idle-retirement victim, closing the route/retire race.
+                self._resize_pool()
+                for handle in list(self._pool):
                     self._flush(handle)
                 with self._lock:
-                    done = self._closed and not self._submissions \
-                        and not self._inflight
+                    done = self._closed and not self._inflight \
+                        and not self._races and not self._race_requests
                     expired = self._drain_deadline is not None \
                         and time.monotonic() > self._drain_deadline
                 if done or expired:
@@ -481,21 +854,185 @@ class SolverService:
         finally:
             self._shutdown_workers()
 
+    def _worker_for(self, pending: _Pending) -> Optional[_WorkerHandle]:
+        """Choose (and pin) the worker for a pending's design family.
+
+        A fingerprint routes to its pinned worker while that worker is
+        alive and not stopping; otherwise it is (re)pinned to the worker
+        with the least outstanding work, preferring workers that are not
+        busy racing.
+        """
+        index = self._affinity.get(pending.affinity)
+        if index is not None:
+            handle = self._by_index.get(index)
+            if handle is not None and not handle.stopping:
+                return handle
+        candidates = [handle for handle in self._pool if not handle.stopping]
+        if not candidates:
+            return None
+        handle = min(candidates,
+                     key=lambda h: (h.racing is not None, h.outstanding,
+                                    h.index))
+        self._affinity[pending.affinity] = handle.index
+        return handle
+
     def _assign_submissions(self) -> None:
+        """Deficit-round-robin assignment from client queues to workers.
+
+        Each rotation hands every waiting client up to ``fair_quantum``
+        submissions (requests are unit-cost), so a flooder's queue depth
+        cannot delay another client by more than one quantum per rotation.
+        A client that received work moves to the *back* of the rotation —
+        when capacity admits only one assignment per pass (a one-deep
+        pipe), the next free slot still goes to whoever waited longest
+        instead of the same front client every time.  FIFO within a
+        client is absolute: a head blocked on a full affinity worker
+        stalls only its own client (it keeps its rotation slot and the
+        pass moves on).
+        """
+        while True:
+            with self._lock:
+                for client in [c for c, q in self._client_queues.items()
+                               if not q]:
+                    del self._client_queues[client]
+                    try:
+                        self._rr_order.remove(client)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                rotation = list(self._rr_order)
+            if not rotation:
+                return
+            progress = False
+            for client in rotation:
+                served = 0
+                for _ in range(self.fair_quantum):
+                    with self._lock:
+                        queue = self._client_queues.get(client)
+                        pending = queue[0] if queue else None
+                    if pending is None:
+                        break
+                    handle = self._worker_for(pending)
+                    if handle is None \
+                            or handle.outstanding >= self.max_pipe_backlog:
+                        break
+                    with self._lock:
+                        queue.popleft()
+                        self._stats["dispatched"] += 1
+                    handle.queue.append(pending)
+                    handle.last_active = time.monotonic()
+                    served += 1
+                    progress = True
+                if served:
+                    with self._lock:
+                        try:
+                            self._rr_order.remove(client)
+                            self._rr_order.append(client)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+            if not progress:
+                return
+
+    def _resize_pool(self) -> None:
+        """Grow under sustained backlog, retire the long-idle (dispatcher).
+
+        Hysteresis on both edges: unassignable backlog must persist for
+        ``scale_up_after`` seconds before a spawn (and the clock re-arms
+        after each one), and a worker must sit idle for
+        ``idle_retire_seconds`` before retirement.  One resize step per
+        pass keeps the pool trajectory smooth and observable.
+        """
+        active = [handle for handle in self._pool if not handle.stopping]
+        now = time.monotonic()
         with self._lock:
-            fresh = list(self._submissions)
-            self._submissions.clear()
-        for pending in fresh:
-            index = self._affinity.get(pending.affinity)
-            if index is None:
-                index = min(range(len(self._pool)),
-                            key=lambda i: (self._pool[i].outstanding, i))
-                self._affinity[pending.affinity] = index
-            self._pool[index].queue.append(pending)
-            self._stats["dispatched"] += 1
+            backlog = sum(len(queue)
+                          for queue in self._client_queues.values())
+        if backlog > 0 and len(active) < self.max_workers:
+            if self._backlog_since is None:
+                self._backlog_since = now
+            elif now - self._backlog_since >= self.scale_up_after:
+                self._add_worker()
+                self._backlog_since = now
+        else:
+            self._backlog_since = None
+        if len(active) > self.min_workers:
+            for handle in active:
+                if handle.racing is None and handle.outstanding == 0 \
+                        and now - handle.last_active \
+                        >= self.idle_retire_seconds:
+                    self._begin_scale_down(handle)
+                    break
+
+    def _add_worker(self) -> None:
+        handle = _WorkerHandle(self._next_worker_index)
+        self._next_worker_index += 1
+        self._spawn(handle)
+        with self._lock:
+            self._pool.append(handle)
+            self._by_index[handle.index] = handle
+            self._stats["scale_ups"] += 1
+            active = sum(1 for h in self._pool if not h.stopping)
+            self._stats["pool_peak"] = max(self._stats["pool_peak"], active)
+
+    def _begin_scale_down(self, handle: _WorkerHandle) -> None:
+        """Ask an idle worker to stop; removal happens at its pipe's EOF.
+
+        The worker answers ``stop`` with its final session statistics
+        (aggregated by the normal message path) and exits; a stopping
+        handle accepts no new assignments, and affinity lookups fall
+        through to live workers immediately.
+        """
+        try:
+            handle.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            self._restart(handle)
+            return
+        handle.stopping = True
+        with self._lock:
+            self._stats["scale_downs"] += 1
+
+    def _remove_worker(self, handle: _WorkerHandle) -> None:
+        """Finish a scale-down: drop the handle and its affinity pins."""
+        self._retire(handle)
+        with self._lock:
+            try:
+                self._pool.remove(handle)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+            self._by_index.pop(handle.index, None)
+        for fingerprint in [fp for fp, idx in self._affinity.items()
+                            if idx == handle.index]:
+            del self._affinity[fingerprint]
+        # A stopping worker had outstanding == 0 by construction, but a
+        # crash racing the stop could leave owed work — never drop it.
+        if handle.sent or handle.queue:  # pragma: no cover - defensive
+            self._requeue_orphans(handle)
+
+    def _requeue_orphans(self, handle: _WorkerHandle) -> None:
+        """Push a dead handle's owed work back through the fair scheduler."""
+        orphans = list(handle.sent.values())
+        orphans.extend(handle.queue)
+        handle.sent.clear()
+        handle.queue.clear()
+        with self._lock:
+            for pending in orphans:
+                client = pending.waiters[0][2] if pending.waiters else ""
+                queue = self._client_queues.get(client)
+                if queue is None:
+                    queue = deque()
+                    self._client_queues[client] = queue
+                    self._rr_order.append(client)
+                queue.appendleft(pending)
+                self._stats["dispatched"] -= 1
 
     def _flush(self, handle: _WorkerHandle) -> None:
-        """Write queued requests to the worker, up to the pipe backlog cap."""
+        """Write queued requests to the worker, up to the pipe backlog cap.
+
+        Racing and stopping workers get nothing: a racer's pipe must stay
+        silent so ``conn.poll`` can serve as its cancellation hook, and a
+        stopping worker is already past its last request.
+        """
+        if handle.stopping or handle.racing is not None:
+            return
         while handle.queue and len(handle.sent) < self.max_pipe_backlog:
             pending = handle.queue[0]
             try:
@@ -513,7 +1050,12 @@ class SolverService:
                 message = handle.conn.recv()
                 self._handle_message(handle, message)
         except (EOFError, OSError):
-            self._restart(handle)
+            if handle.stopping:
+                # The scale-down handshake's clean ending: stats were
+                # collected above, the worker exited, the pipe hit EOF.
+                self._remove_worker(handle)
+            else:
+                self._restart(handle)
 
     def _handle_message(self, handle: _WorkerHandle, message) -> None:
         kind = message[0]
@@ -522,17 +1064,27 @@ class SolverService:
             self._worker_cache_stats.update(cache_stats)
             self._worker_portfolio_wins.update(wins)
             return
+        if kind == "race_result":
+            _, race_id, name, result, error = message
+            handle.racing = None
+            handle.last_active = time.monotonic()
+            race = self._races.get(race_id)
+            if race is not None:
+                self._finish_race_member(race, name, result, error)
+            return
         _, request_id, payload = message
         pending = handle.sent.pop(request_id, None)
         if pending is None:  # a restarted worker's stale reply
             return
         handle.served += 1
+        handle.last_active = time.monotonic()
         if kind == "error":
             with self._lock:
                 self._inflight.pop(pending.key, None)
                 self._stats["errors"] += 1
+                self._release_slots(pending)
             error = RuntimeError(payload)
-            for future, _ in pending.waiters:
+            for future, _, _ in pending.waiters:
                 future.set_exception(error)
             return
         now = time.monotonic()
@@ -549,6 +1101,12 @@ class SolverService:
             self._stats["completed"] += 1
             if payload.get("cache_hit"):
                 self._stats["worker_cache_hits"] += 1
+            self._release_slots(pending)
+            solve_seconds = float(payload.get("time_seconds") or 0.0)
+            if self._solve_ema is None:
+                self._solve_ema = solve_seconds
+            else:
+                self._solve_ema = 0.2 * solve_seconds + 0.8 * self._solve_ema
         # The first waiter is the request that actually solved; coalesced
         # duplicates are warm serves, exactly as the session cache would
         # have treated them had they arrived sequentially.
@@ -556,7 +1114,7 @@ class SolverService:
         first[0].set_result(_restamp(payload, first[1],
                                      cache_hit=bool(payload.get("cache_hit")),
                                      time_seconds=payload["time_seconds"]))
-        for future, request in rest:
+        for future, request, _ in rest:
             future.set_result(_restamp(payload, request, cache_hit=True,
                                        time_seconds=now - pending.submitted_at))
 
@@ -574,6 +1132,7 @@ class SolverService:
         child_conn.close()
         handle.process = process
         handle.conn = parent_conn
+        handle.last_active = time.monotonic()
         self._selector.register(parent_conn, selectors.EVENT_READ,
                                 data=handle)
 
@@ -598,6 +1157,16 @@ class SolverService:
 
     def _restart(self, handle: _WorkerHandle) -> None:
         """Replace a dead worker; nothing it owed is dropped."""
+        if handle.racing is not None:
+            race = self._races.get(handle.racing)
+            handle.racing = None
+            if race is not None:
+                dropped = [name for name, h in race.members.items()
+                           if h is handle]
+                for name in dropped:
+                    # A crashed racer counts as an unknown answer.
+                    self._finish_race_member(race, name, None,
+                                             "worker died mid-race")
         with self._lock:
             stopping = self._closed and not self._inflight
             exhausted = not stopping and self._restarts_left <= 0
@@ -618,6 +1187,7 @@ class SolverService:
         requeued.extend(handle.queue)
         handle.sent.clear()
         handle.queue = requeued
+        handle.stopping = False
         self._spawn(handle)
         self._flush(handle)
 
@@ -627,12 +1197,16 @@ class SolverService:
             self._failed = reason
             pendings = list(self._inflight.values())
             self._inflight.clear()
-            self._submissions.clear()
+            self._client_queues.clear()
+            self._rr_order.clear()
+            for pending in pendings:
+                self._release_slots(pending)
         error = RuntimeError(f"service failed: {reason}")
         for pending in pendings:
-            for future, _ in pending.waiters:
+            for future, _, _ in pending.waiters:
                 if not future.done():
                     future.set_exception(error)
+        self._abort_races()
         warnings.warn(f"lakeroad service: {reason}", RuntimeWarning,
                       stacklevel=2)
 
@@ -643,14 +1217,18 @@ class SolverService:
         with self._lock:
             leftovers = list(self._inflight.values())
             self._inflight.clear()
-            self._submissions.clear()
+            self._client_queues.clear()
+            self._rr_order.clear()
+            for pending in leftovers:
+                self._release_slots(pending)
         if leftovers:
             error = RuntimeError("service shut down before this request "
                                  "completed (drain timeout)")
             for pending in leftovers:
-                for future, _ in pending.waiters:
+                for future, _, _ in pending.waiters:
                     if not future.done():
                         future.set_exception(error)
+        self._abort_races()
         for handle in self._pool:
             try:
                 handle.conn.send(("stop",))
@@ -673,21 +1251,31 @@ class SolverService:
     def stats(self) -> Dict[str, Any]:
         """Front-door counters; ``warm_hit_rate`` is the share of requests
         served without a fresh solve (front-door hits, coalesced
-        duplicates, and worker-session cache hits)."""
+        duplicates, and worker-session cache hits).  The QoS block adds
+        pool-size, rejection, resize and per-client counters."""
         with self._lock:
             stats = dict(self._stats)
+            stats["pending"] = self._pending_total
+            stats["clients"] = {client: dict(counter)
+                                for client, counter in
+                                self._client_stats.items()}
+            pool = list(self._pool)
         for key in ("requests", "coalesced", "front_memory_hits",
                     "front_disk_hits", "dispatched", "completed",
-                    "worker_cache_hits", "worker_restarts", "errors"):
+                    "worker_cache_hits", "worker_restarts", "errors",
+                    "rejections", "scale_ups", "scale_downs", "races",
+                    "race_fallbacks"):
             stats.setdefault(key, 0)
         warm = (stats["coalesced"] + stats["front_memory_hits"]
                 + stats["front_disk_hits"] + stats["worker_cache_hits"])
         stats["warm_served"] = warm
         stats["warm_hit_rate"] = warm / stats["requests"] \
             if stats["requests"] else 0.0
-        stats["workers"] = self.workers
+        stats["workers"] = sum(1 for handle in pool if not handle.stopping)
+        stats["min_workers"] = self.min_workers
+        stats["max_workers"] = self.max_workers
         stats["in_flight"] = len(self._inflight)
-        stats["worker_requests"] = [handle.served for handle in self._pool]
+        stats["worker_requests"] = [handle.served for handle in pool]
         return stats
 
     def affinity_snapshot(self) -> Dict[str, int]:
@@ -738,12 +1326,49 @@ class SolverService:
         self.close()
 
 
+class ServicePortfolio(SatPortfolio):
+    """A SAT portfolio whose concurrent races run on idle service workers.
+
+    ``portfolio="process"`` used to fork a fresh process per solve call
+    (:class:`~repro.sat.portfolio.ProcessPortfolio`); this variant borrows
+    the already-warm service pool instead — no fork per query, true
+    process parallelism, and the same first-definitive-answer semantics.
+    When no pool worker is idle the race degrades gracefully to the
+    in-process thread race, so callers never block behind map traffic.
+    """
+
+    def __init__(self, service: SolverService,
+                 members: Optional[List] = None) -> None:
+        super().__init__(members=members, concurrent=True)
+        self.service = service
+
+    def _solve_concurrent(self, cnf, deadline: Optional[float],
+                          assumptions: Sequence[int]) -> Tuple[SatResult, str]:
+        outcome = self.service.race_cnf(cnf, deadline, tuple(assumptions),
+                                        self.member_names)
+        if outcome is None:
+            return super()._solve_concurrent(cnf, deadline, assumptions)
+        result, name = outcome
+        if name != "none":
+            self._record_win(name)
+        return result, name
+
+
 # --------------------------------------------------------------------------- #
 # Socket layer: newline-delimited JSON over a unix domain socket
 # --------------------------------------------------------------------------- #
 def _error_response(request_id, message: str) -> bytes:
     return (json.dumps({"id": request_id, "ok": False,
                         "error": message}) + "\n").encode()
+
+
+def _overloaded_response(request_id, retry_after_ms: int) -> bytes:
+    """The structured backpressure reply: the connection stays live, the
+    client learns when a retry is likely to be admitted."""
+    return (json.dumps({"id": request_id, "ok": False,
+                        "error": "overloaded",
+                        "retry_after_ms": int(retry_after_ms)})
+            + "\n").encode()
 
 
 async def _readline_limited(reader) -> Tuple[bytes, bool]:
@@ -779,7 +1404,8 @@ async def _readline_limited(reader) -> Tuple[bytes, bool]:
 
 
 async def _serve_line(service: SolverService, line: bytes, writer,
-                      write_lock: asyncio.Lock) -> None:
+                      write_lock: asyncio.Lock,
+                      client_id: str = "") -> None:
     loop = asyncio.get_running_loop()
     request_id = None
     try:
@@ -788,12 +1414,15 @@ async def _serve_line(service: SolverService, line: bytes, writer,
             raise ValueError("request must be a JSON object")
         request_id = payload.get("id")
         op = payload.get("op", "map")
+        # ping/stats are the control plane: answered inline, never queued
+        # behind map traffic and never subject to admission caps.
         if op == "ping":
             response = {"id": request_id, "ok": True, "pong": True}
         elif op == "stats":
             response = {"id": request_id, "ok": True,
                         "stats": service.stats()}
         elif op == "map":
+            use_cache = payload.get("use_cache")
             request = MapRequest(
                 verilog=payload["verilog"],
                 template=payload.get("template", "dsp"),
@@ -802,21 +1431,26 @@ async def _serve_line(service: SolverService, line: bytes, writer,
                 timeout_seconds=payload.get("timeout"),
                 extra_cycles=int(payload.get("extra_cycles", 1)),
                 validate=bool(payload.get("validate", False)),
+                use_cache=None if use_cache is None else bool(use_cache),
                 benchmark=payload.get("benchmark", ""),
                 form=payload.get("form", ""),
                 width=int(payload.get("width", 0)),
                 stages=int(payload.get("stages", 0)),
                 signed=bool(payload.get("signed", False)),
             )
+            client = str(payload.get("client") or client_id)
             # submit() parses and fingerprints the design — CPU work that
             # belongs on an executor thread, not the event loop.
-            future = await loop.run_in_executor(None, service.submit, request)
+            future = await loop.run_in_executor(
+                None, partial(service.submit, request, client=client))
             record = await asyncio.wrap_future(future)
             response = {"id": request_id, "ok": True,
                         "record": record.to_dict()}
         else:
             raise ValueError(f"unknown op {op!r}")
         data = (json.dumps(response) + "\n").encode()
+    except ServiceOverloaded as exc:
+        data = _overloaded_response(request_id, exc.retry_after_ms)
     except Exception as exc:  # noqa: BLE001 - reported to the client
         data = _error_response(request_id, f"{type(exc).__name__}: {exc}")
     async with write_lock:
@@ -829,13 +1463,18 @@ async def _serve_line(service: SolverService, line: bytes, writer,
 
 async def _handle_client(service: SolverService, reader, writer,
                          draining: asyncio.Event,
-                         limit: int = DEFAULT_STREAM_LIMIT) -> None:
+                         limit: int = DEFAULT_STREAM_LIMIT,
+                         client_id: str = "") -> None:
     """One client connection: pipelined requests, responses as they finish.
 
     On shutdown (``draining`` set) the handler stops reading new requests
     but every request already accepted still gets its response.  A request
     line over the stream limit gets a structured error response (id
     ``None`` — the line never parsed) instead of a dead socket.
+
+    ``client_id`` is the connection's default fair-scheduling tag; a
+    request may override it with an explicit ``"client"`` field (sweep
+    workers funnelling many logical clients through one connection).
     """
     write_lock = asyncio.Lock()
     pending: set = set()
@@ -864,7 +1503,7 @@ async def _handle_client(service: SolverService, reader, writer,
                 break
             if line.strip():
                 task = asyncio.ensure_future(
-                    _serve_line(service, line, writer, write_lock))
+                    _serve_line(service, line, writer, write_lock, client_id))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
     finally:
@@ -889,12 +1528,15 @@ async def _serve_main(service: SolverService, socket_path,
     draining = asyncio.Event()
     stop = stop_event if stop_event is not None else asyncio.Event()
     clients: set = set()
+    connection_ids = itertools.count(1)
 
     async def handler(reader, writer):
         task = asyncio.current_task()
         clients.add(task)
+        client_id = f"conn-{next(connection_ids)}"
         try:
-            await _handle_client(service, reader, writer, draining, limit)
+            await _handle_client(service, reader, writer, draining, limit,
+                                 client_id)
         finally:
             clients.discard(task)
 
@@ -1076,20 +1718,52 @@ class ServiceClient:
         return future
 
     def request(self, payload: Dict[str, Any],
-                timeout: Optional[float] = None) -> Dict[str, Any]:
-        return self.submit(payload).result(timeout=timeout)
+                timeout: Optional[float] = None,
+                retry_overloaded: int = 0) -> Dict[str, Any]:
+        """One request/response round trip.
+
+        ``retry_overloaded`` bounds how many times a structured
+        ``overloaded`` rejection is retried, sleeping the server's
+        ``retry_after_ms`` hint between attempts; ``timeout`` is the
+        overall deadline across every attempt, so a saturated server
+        surfaces as the usual ``FutureTimeoutError`` rather than an
+        unbounded retry loop.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        attempt = 0
+        while True:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            response = self.submit(payload).result(timeout=remaining)
+            if not (isinstance(response, dict)
+                    and response.get("error") == "overloaded"):
+                return response
+            if attempt >= retry_overloaded:
+                return response
+            attempt += 1
+            delay = min(float(response.get("retry_after_ms", 100)) / 1000.0,
+                        2.0)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
 
     def map_verilog(self, verilog: str, timeout: Optional[float] = None,
-                    **fields) -> Dict[str, Any]:
+                    retry_overloaded: int = 0, **fields) -> Dict[str, Any]:
         payload = {"op": "map", "verilog": verilog}
         payload.update(fields)
-        return self.request(payload, timeout=timeout)
+        return self.request(payload, timeout=timeout,
+                            retry_overloaded=retry_overloaded)
 
     def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         response = self.request({"op": "stats"}, timeout=timeout)
         if not response.get("ok"):
             raise RuntimeError(response.get("error", "stats failed"))
         return response["stats"]
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        """Control-plane liveness probe (bypasses admission entirely)."""
+        response = self.request({"op": "ping"}, timeout=timeout)
+        return bool(response.get("ok")) and bool(response.get("pong"))
 
     def close(self) -> None:
         with self._lock:

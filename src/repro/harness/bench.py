@@ -64,7 +64,7 @@ from repro.bv import (
 from repro.bv.bitsim import PROBE_LANES, PackedEvaluator
 
 __all__ = ["git_revision", "probe_throughput", "bench_serve",
-           "bench_distributed", "run_bench", "write_snapshot",
+           "bench_qos", "bench_distributed", "run_bench", "write_snapshot",
            "diff_snapshots", "DEFAULT_DIFF_THRESHOLDS"]
 
 
@@ -297,6 +297,164 @@ def bench_serve(architectures: Optional[Sequence[str]] = None,
     }
 
 
+def _qos_design(index: int, flavor: str = "a") -> str:
+    """A tiny distinct-by-construction Verilog module for load generation.
+
+    Width and the two operators cycle independently, so the first 64
+    indices of each flavor produce 64 distinct program fingerprints —
+    distinct synthesis keys, which is what a load generator needs (repeats
+    of one design would coalesce into a single solve and carry no load).
+    """
+    width = 2 + (index % 4)
+    ops = ("&", "|", "^", "+")
+    op1 = ops[(index // 4) % 4]
+    op2 = ops[(index // 16) % 4]
+    tail = "a" if flavor == "a" else "b"
+    return (f"module q{flavor}{index}(input [{width - 1}:0] a, b, "
+            f"output [{width - 1}:0] out); "
+            f"assign out = (a {op1} b) {op2} {tail}; endmodule")
+
+
+def bench_qos(seed: int = 0, flood_requests: int = 32,
+              steady_requests: int = 8, steady_clients: int = 2,
+              workers: int = 1, max_workers: int = 3,
+              max_pending: int = 8, client_queue: int = 6,
+              arch: str = "intel-cyclone10lp",
+              template: str = "dsp") -> dict:
+    """Measure the service QoS layer under a mixed flooder/steady load.
+
+    One flooding client pipelines ``flood_requests`` distinct queries
+    while ``steady_clients`` polite clients send theirs one at a time;
+    the pool is elastic (``workers`` … ``max_workers``) with tight
+    admission caps, so the run exercises fair scheduling, structured
+    ``overloaded`` rejections and both resize directions.  Reported:
+    per-class p50/p95 latency (plus an uncontended steady baseline and
+    the contended/uncontended ``fairness_ratio``), the flooder's
+    rejection rate, and the resize counters.
+    """
+    import tempfile
+    import threading
+
+    from repro.engine.parallel import SessionSpec
+    from repro.engine.service import ServerThread, ServiceClient, SolverService
+
+    rng = random.Random(seed)
+    spec = SessionSpec(enable_cache=False, random_probes=8)
+    service = SolverService(spec, workers=workers,
+                            min_workers=workers, max_workers=max_workers,
+                            max_pending=max_pending,
+                            client_queue=client_queue,
+                            scale_up_after=0.05,
+                            idle_retire_seconds=0.25)
+    steady_latencies: List[float] = []
+    baseline_latencies: List[float] = []
+    flood_latencies: List[float] = []
+    rejected = 0
+    flood_errors = 0
+    lock = threading.Lock()
+
+    def steady_pass(client: ServiceClient, tag: str, base: int,
+                    sink: List[float]) -> None:
+        for i in range(steady_requests):
+            start = time.perf_counter()
+            response = client.map_verilog(
+                _qos_design(base + i, "b"), timeout=120,
+                retry_overloaded=8, arch=arch, template=template,
+                client=tag, use_cache=False)
+            elapsed = time.perf_counter() - start
+            with lock:
+                sink.append(elapsed)
+            if not response.get("ok"):
+                raise RuntimeError(f"steady request failed: {response}")
+            time.sleep(0.005 + rng.random() * 0.01)
+
+    with tempfile.TemporaryDirectory(prefix="lakeroad-qos-") as tmp:
+        socket_path = Path(tmp) / "qos.sock"
+        with service, ServerThread(service, socket_path):
+            # Uncontended baseline: one steady client, empty service.
+            with ServiceClient(socket_path) as client:
+                steady_pass(client, "baseline", 200, baseline_latencies)
+
+            # Mixed load: the flooder pipelines everything at once.
+            def flood() -> None:
+                nonlocal rejected, flood_errors
+                with ServiceClient(socket_path) as client:
+                    sent = time.perf_counter()
+                    futures = [client.submit({
+                        "op": "map", "verilog": _qos_design(i, "a"),
+                        "arch": arch, "template": template,
+                        "client": "flooder", "use_cache": False})
+                        for i in range(flood_requests)]
+                    for future in futures:
+                        response = future.result(timeout=120)
+                        with lock:
+                            flood_latencies.append(
+                                time.perf_counter() - sent)
+                        if response.get("error") == "overloaded":
+                            rejected += 1
+                        elif not response.get("ok"):
+                            flood_errors += 1
+
+            threads = [threading.Thread(target=flood)]
+            steady_sockets = [ServiceClient(socket_path)
+                              for _ in range(steady_clients)]
+            for index, client in enumerate(steady_sockets):
+                threads.append(threading.Thread(
+                    target=steady_pass,
+                    args=(client, f"steady-{index}", 300 + 50 * index,
+                          steady_latencies)))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for client in steady_sockets:
+                client.close()
+
+            # Let the idle-retirement clock run the pool back down.
+            shrink_deadline = time.monotonic() + 5.0
+            while time.monotonic() < shrink_deadline:
+                if service.stats()["workers"] <= workers:
+                    break
+                time.sleep(0.05)
+            stats = service.stats()
+
+    steady_latencies.sort()
+    baseline_latencies.sort()
+    flood_latencies.sort()
+    baseline_p95 = _percentile(baseline_latencies, 0.95)
+    contended_p95 = _percentile(steady_latencies, 0.95)
+    return {
+        "workers": workers,
+        "max_workers": max_workers,
+        "max_pending": max_pending,
+        "client_queue": client_queue,
+        "steady_uncontended": {
+            "requests": float(len(baseline_latencies)),
+            "p50_latency_seconds": _percentile(baseline_latencies, 0.50),
+            "p95_latency_seconds": baseline_p95,
+        },
+        "steady_contended": {
+            "requests": float(len(steady_latencies)),
+            "p50_latency_seconds": _percentile(steady_latencies, 0.50),
+            "p95_latency_seconds": contended_p95,
+        },
+        "fairness_ratio": contended_p95 / baseline_p95
+        if baseline_p95 else 0.0,
+        "flooder": {
+            "requests": float(flood_requests),
+            "rejected": float(rejected),
+            "rejection_rate": rejected / flood_requests
+            if flood_requests else 0.0,
+            "errors": float(flood_errors),
+            "p95_latency_seconds": _percentile(flood_latencies, 0.95),
+        },
+        "scale_ups": float(stats["scale_ups"]),
+        "scale_downs": float(stats["scale_downs"]),
+        "pool_peak": float(stats["pool_peak"]),
+        "service_stats": stats,
+    }
+
+
 def _comparable_records(records) -> List[dict]:
     """Record dicts with the wall-clock fields dropped.
 
@@ -380,6 +538,7 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
               serve: bool = True, serve_requests: int = 32,
               serve_workers: int = 2,
               serve_cold_requests: int = 4,
+              qos: bool = True,
               distributed: bool = True,
               distributed_workers: int = 2) -> dict:
     """Run the bench suite and return the snapshot payload."""
@@ -456,6 +615,7 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
                                 workers=serve_workers,
                                 cold_requests=serve_cold_requests) \
         if serve else None
+    qos_section = bench_qos(seed=seed, template=template) if qos else None
     distributed_section = bench_distributed(
         architectures=architectures, count=count, seed=seed,
         max_width=max_width, template=template,
@@ -495,6 +655,7 @@ def run_bench(architectures: Optional[Sequence[str]] = None,
         "probes": probes,
         "probe_throughput": throughput,
         "serve": serve_section,
+        "qos": qos_section,
         "distributed": distributed_section,
         "designs": designs,
     }
@@ -531,6 +692,8 @@ DEFAULT_DIFF_THRESHOLDS: Dict[str, tuple] = {
     "serve.speedup_vs_cold": ("higher", 0.5),
     "serve.serve_warm.requests_per_second": ("higher", 0.5),
     "serve.serve_warm.p95_latency_seconds": ("lower", 2.0),
+    "qos.steady_contended.p50_latency_seconds": ("lower", 2.0),
+    "qos.steady_contended.p95_latency_seconds": ("lower", 2.0),
     "distributed.records_equal": ("higher", 0.0),
     "distributed.records_per_second": ("higher", 0.5),
 }

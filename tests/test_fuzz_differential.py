@@ -28,7 +28,12 @@ random instances from a seed and cross-checks:
   conflict/decision/propagation/restart counters, cores, reduction
   telemetry) over incremental add-clause/assumption workloads, plus the
   four CEGIS modes re-run on the legacy engine via monkeypatching and
-  unsat-core strengthening re-solves across three independent engines.
+  unsat-core strengthening re-solves across three independent engines;
+* the warm solver service under randomized QoS churn — flood submissions,
+  admission-cap rejections, and elastic pool resizes interleaved with a
+  benchmark sweep — against the same sweep run serially: the served
+  records must be field-identical (minus wall-clock and cache provenance)
+  no matter how the scheduler interleaved, coalesced, or resized.
 
 Every case derives its RNG from ``LAKEROAD_FUZZ_SEED`` (default 0) and its
 case index; failing assertions embed the case seed so a failure replays
@@ -37,8 +42,10 @@ CI runs a fixed seed matrix with larger case counts
 (``LAKEROAD_FUZZ_*_CASES``); the defaults keep the tier-1 run fast.
 """
 
+import multiprocessing
 import os
 import random
+import time
 import zlib
 
 import pytest
@@ -64,6 +71,7 @@ CNF_CASES = int(os.environ.get("LAKEROAD_FUZZ_CNF_CASES", "120"))
 BV_CASES = int(os.environ.get("LAKEROAD_FUZZ_BV_CASES", "40"))
 CEGIS_CASES = int(os.environ.get("LAKEROAD_FUZZ_CEGIS_CASES", "18"))
 PACKED_CASES = int(os.environ.get("LAKEROAD_FUZZ_PACKED_CASES", "60"))
+QOS_CASES = int(os.environ.get("LAKEROAD_FUZZ_QOS_CASES", "2"))
 
 #: Every default portfolio member plus the diversified CDCL configs and the
 #: two explicit engine selections (the flat-arena core and the retained
@@ -602,3 +610,115 @@ class TestCegisDifferential:
         # The generator must exercise both outcomes, or the oracle is idle.
         assert checked_sat > 0 and checked_unsat > 0, \
             (checked_sat, checked_unsat)
+
+
+# --------------------------------------------------------------------------- #
+# (g) Service QoS differential: served records vs serial under random churn
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif("fork" not in multiprocessing.get_all_start_methods(),
+                    reason="requires the fork start method")
+class TestServiceQosChurnDifferential:
+    def test_served_records_survive_random_flood_and_resize_churn(self):
+        from repro.engine.parallel import SessionSpec, run_sweep
+        from repro.engine.service import (
+            MapRequest, ServiceOverloaded, SolverService,
+        )
+        from repro.harness.runner import ExperimentConfig
+
+        from _fixtures import small_workloads
+        from loadgen import design_verilog
+
+        def comparable(record):
+            data = record.to_dict()
+            data.pop("time_seconds")
+            data.pop("solver_solve_seconds")
+            data.pop("cache_hit")
+            return data
+
+        for index in range(QOS_CASES):
+            case_seed = _case_seed("qos-churn", index)
+            rng = random.Random(case_seed)
+            benchmarks = small_workloads(4, seed=case_seed & 0xFFFF,
+                                         max_width=6)
+            config = ExperimentConfig(
+                incremental=rng.random() < 0.5,
+                incremental_verify=rng.random() < 0.5)
+            serial = run_sweep(benchmarks, config, workers=1).records
+            context = _replay("qos-churn", case_seed)
+
+            # A deliberately twitchy service: random caps tight enough that
+            # the flood can draw rejections, hysteresis small enough that
+            # the pool resizes both ways mid-sweep.
+            spec = SessionSpec.from_config(config)
+            flood_indices = iter(rng.sample(range(64), 48))
+            primary, flood, rejections = [], [], 0
+            with SolverService(spec, workers=1,
+                               max_pipe_backlog=rng.choice((1, 2)),
+                               min_workers=1,
+                               max_workers=rng.randint(2, 3),
+                               max_pending=rng.randint(8, 14),
+                               client_queue=rng.randint(4, 8),
+                               scale_up_after=0.02,
+                               idle_retire_seconds=rng.uniform(
+                                   0.03, 0.08)) as service:
+                for benchmark in benchmarks:
+                    primary.append(service.map_benchmark(
+                        benchmark, config, client="primary"))
+                    for _ in range(rng.randint(0, 4)):
+                        event = rng.random()
+                        if event < 0.35:
+                            # Duplicate of a sweep design: coalesces or hits
+                            # the front cache; either way the restamped
+                            # record must match the serial one.
+                            twin = rng.choice(benchmarks)
+                            try:
+                                flood.append((twin.name,
+                                              service.map_benchmark(
+                                                  twin, config,
+                                                  client=f"flood-"
+                                                         f"{rng.randint(0, 1)}")))
+                            except ServiceOverloaded:
+                                rejections += 1
+                        else:
+                            # Distinct design with the cache off: consumes a
+                            # real admission slot and may be rejected.
+                            design_index = next(flood_indices)
+                            request = MapRequest(
+                                verilog=design_verilog(design_index, "z"),
+                                arch=benchmarks[0].architecture,
+                                template=config.template, use_cache=False,
+                                benchmark=f"z{design_index}")
+                            try:
+                                flood.append((None, service.submit(
+                                    request,
+                                    client=f"flood-{rng.randint(0, 1)}")))
+                            except ServiceOverloaded as exc:
+                                rejections += 1
+                                assert 50 <= exc.retry_after_ms <= 10_000, \
+                                    context
+                    if rng.random() < 0.5:
+                        # Quiet gaps invite scale-down; the next burst then
+                        # has to re-grow the pool.
+                        time.sleep(rng.uniform(0.0, 0.08))
+                served = [future.result(timeout=180) for future in primary]
+                flood_served = [(name, future.result(timeout=180))
+                                for name, future in flood]
+                stats = service.stats()
+
+            serial_by_name = {record.benchmark: record for record in serial}
+            assert [comparable(r) for r in served] == \
+                [comparable(r) for r in serial], \
+                (f"served sweep diverged from serial under churn {context}")
+            for name, record in flood_served:
+                if name is not None:
+                    assert comparable(record) == \
+                        comparable(serial_by_name[name]), \
+                        (f"coalesced duplicate of {name!r} diverged from "
+                         f"the serial record {context}")
+                else:
+                    assert record.outcome in ("success", "unsat"), \
+                        (f"churn request {record.benchmark!r} degraded to "
+                         f"{record.outcome!r} {context}")
+            assert 1 <= stats["workers"] <= stats["max_workers"], context
+            assert stats["pool_peak"] <= stats["max_workers"], context
+            assert stats["rejections"] == rejections, context
