@@ -331,21 +331,24 @@ class _Pending:
     """One in-flight solve and every requester waiting on it."""
 
     __slots__ = ("key", "request", "waiters", "affinity", "request_id",
-                 "submitted_at")
+                 "submitted_at", "admitted_by")
 
     def __init__(self, key, request: MapRequest, affinity: str,
-                 request_id: int) -> None:
+                 request_id: int, admitted_by: str) -> None:
         self.key = key
         self.request = request
         #: ``(future, request, client)`` triples: coalesced duplicates may
         #: carry different benchmark metadata (sign twins share a
         #: fingerprint), so each waiter's record is stamped from its own
-        #: request; the client tag releases that waiter's admission slot
-        #: when the future resolves.
+        #: request.
         self.waiters: List[Tuple[Future, MapRequest, str]] = []
         self.affinity = affinity
         self.request_id = request_id
         self.submitted_at = time.monotonic()
+        #: The one client that passed ``_admit`` for this solve; coalesced
+        #: duplicates ride along without taking a slot, so exactly this
+        #: client's slot is returned when the solve resolves.
+        self.admitted_by = admitted_by
 
 
 class _Race:
@@ -573,7 +576,8 @@ class SolverService:
                     return future
             self._admit(client)
             self._next_request_id += 1
-            pending = _Pending(key, request, affinity, self._next_request_id)
+            pending = _Pending(key, request, affinity, self._next_request_id,
+                               client)
             pending.waiters.append((future, request, client))
             self._inflight[key] = pending
             queue = self._client_queues.get(client)
@@ -633,14 +637,21 @@ class SolverService:
         return int(min(10_000.0, max(50.0, estimate * 1000.0)))
 
     def _release_slots(self, pending: _Pending) -> None:
-        """Return every waiter's admission slot (lock held)."""
+        """Return the one admission slot this solve took (lock held).
+
+        Only ``pending.admitted_by`` passed ``_admit``; coalesced
+        duplicates and front-cache hits never took a slot, so releasing
+        per-waiter would over-credit the caps until backpressure stopped
+        triggering.  The ``served`` counter, by contrast, *is* per-waiter.
+        """
+        admitted = pending.admitted_by
+        if self._pending_total > 0:
+            self._pending_total -= 1
+        if self._client_pending[admitted] <= 1:
+            self._client_pending.pop(admitted, None)
+        else:
+            self._client_pending[admitted] -= 1
         for _, _, client in pending.waiters:
-            if self._pending_total > 0:
-                self._pending_total -= 1
-            if self._client_pending[client] <= 1:
-                del self._client_pending[client]
-            else:
-                self._client_pending[client] -= 1
             self._client_counter(client)["served"] += 1
 
     def _request_keys(self, request: MapRequest) -> Tuple[Any, str]:
@@ -858,14 +869,19 @@ class SolverService:
         """Choose (and pin) the worker for a pending's design family.
 
         A fingerprint routes to its pinned worker while that worker is
-        alive and not stopping; otherwise it is (re)pinned to the worker
-        with the least outstanding work, preferring workers that are not
-        busy racing.
+        alive, not stopping and not busy racing; otherwise it is
+        (re)pinned to the worker with the least outstanding work,
+        preferring workers that are not racing.  A racing pin falls
+        through just like a stopping one — ``_flush`` sends nothing to a
+        racer, so honoring the pin would stall the family behind a
+        borrowed SAT race of unbounded length while other workers idle,
+        breaking the map-latency/race-latency independence contract.
         """
         index = self._affinity.get(pending.affinity)
         if index is not None:
             handle = self._by_index.get(index)
-            if handle is not None and not handle.stopping:
+            if handle is not None and not handle.stopping \
+                    and handle.racing is None:
                 return handle
         candidates = [handle for handle in self._pool if not handle.stopping]
         if not candidates:
@@ -912,7 +928,11 @@ class SolverService:
                     if pending is None:
                         break
                     handle = self._worker_for(pending)
-                    if handle is None \
+                    # A racing handle can be chosen only when every worker
+                    # is racing; keep the request in the client queue (it
+                    # stays re-routable and counts as resize backlog)
+                    # rather than stranding it behind the race.
+                    if handle is None or handle.racing is not None \
                             or handle.outstanding >= self.max_pipe_backlog:
                         break
                     with self._lock:
@@ -1014,7 +1034,9 @@ class SolverService:
         handle.sent.clear()
         handle.queue.clear()
         with self._lock:
-            for pending in orphans:
+            # appendleft reverses, so walk newest-first to land the oldest
+            # orphan at the head of its client queue (FIFO within client).
+            for pending in reversed(orphans):
                 client = pending.waiters[0][2] if pending.waiters else ""
                 queue = self._client_queues.get(client)
                 if queue is None:

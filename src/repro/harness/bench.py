@@ -352,6 +352,19 @@ def bench_qos(seed: int = 0, flood_requests: int = 32,
     rejected = 0
     flood_errors = 0
     lock = threading.Lock()
+    thread_errors: List[BaseException] = []
+
+    def guarded(target, *args):
+        """Capture a worker thread's exception; a bare Thread would
+        swallow it and the benchmark would silently report partial
+        latencies."""
+        def run() -> None:
+            try:
+                target(*args)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with lock:
+                    thread_errors.append(exc)
+        return run
 
     def steady_pass(client: ServiceClient, tag: str, base: int,
                     sink: List[float]) -> None:
@@ -395,20 +408,21 @@ def bench_qos(seed: int = 0, flood_requests: int = 32,
                         elif not response.get("ok"):
                             flood_errors += 1
 
-            threads = [threading.Thread(target=flood)]
+            threads = [threading.Thread(target=guarded(flood))]
             steady_sockets = [ServiceClient(socket_path)
                               for _ in range(steady_clients)]
             for index, client in enumerate(steady_sockets):
                 threads.append(threading.Thread(
-                    target=steady_pass,
-                    args=(client, f"steady-{index}", 300 + 50 * index,
-                          steady_latencies)))
+                    target=guarded(steady_pass, client, f"steady-{index}",
+                                   300 + 50 * index, steady_latencies)))
             for thread in threads:
                 thread.start()
             for thread in threads:
                 thread.join()
             for client in steady_sockets:
                 client.close()
+            if thread_errors:
+                raise thread_errors[0]
 
             # Let the idle-retirement clock run the pool back down.
             shrink_deadline = time.monotonic() + 5.0

@@ -10,9 +10,11 @@ wall-clock.  The served-equals-serial suite at the bottom runs real
 solves under deliberate pool churn.
 """
 
+import collections
 import contextlib
 import multiprocessing
 import random
+import threading
 import time
 
 import pytest
@@ -177,6 +179,34 @@ class TestAdmission:
             gate.set()
             assert _comparable(head.result(60)) == _comparable(twin.result(60))
             assert service.stats()["coalesced"] == 1
+
+    def test_coalesced_completion_releases_exactly_one_slot(
+            self, monkeypatch):
+        """Regression: a solve with coalesced waiters must return one
+        admission slot, not one per waiter — per-waiter release credited
+        the caps for slots never taken, so backpressure quietly stopped
+        triggering under dedup-heavy traffic."""
+        with fake_service(monkeypatch, workers=1, max_pending=2,
+                          max_pipe_backlog=4) as service:
+            # The head solve needs a real delay: an instant fake solve can
+            # finish before the twins below are even submitted, and then
+            # nothing coalesces.
+            fast = service.submit(_req(0, delay=0.5), client="a")
+            # Two riders on the same solve (one from another client):
+            # neither took a slot, so neither may release one.
+            twins = [service.submit(_req(0, delay=0.5), client="a"),
+                     service.submit(_req(0, delay=0.5), client="b")]
+            slow = service.submit(_req(1, delay=2.0), client="a")
+            fast.result(timeout=60)
+            # Only the fast solve's single slot came back; the slow solve
+            # still holds the other, so the cap admits exactly one more.
+            refill = service.submit(_req(2), client="b")
+            with pytest.raises(ServiceOverloaded):
+                service.submit(_req(3), client="b")
+            for future in twins + [slow, refill]:
+                future.result(timeout=60)
+            assert service.stats()["pending"] == 0
+            assert service.stats()["coalesced"] == 2
 
     def test_front_cache_hits_are_admitted_free(self, monkeypatch):
         gate = _gate()
@@ -345,6 +375,30 @@ class TestElasticPool:
         assert stats["completed"] == 60
         assert stats["scale_downs"] >= 1, "churn never exercised a retire"
         assert stats["errors"] == 0
+
+    def test_requeue_orphans_preserves_fifo_within_client(self):
+        """Regression: multiple orphans from one client, requeued with
+        ``appendleft``, must land oldest-first at the head of the client
+        queue — walking them oldest-first reversed their order."""
+        service = SolverService.__new__(SolverService)
+        service._lock = threading.Lock()
+        service._client_queues = {}
+        service._rr_order = collections.deque()
+        service._stats = collections.Counter()
+        handle = service_mod._WorkerHandle(7)
+        pendings = []
+        for i in range(3):
+            pending = service_mod._Pending(("key", i), _req(40 + i),
+                                           f"fp{i}", i + 1, "c")
+            pending.waiters.append((None, pending.request, "c"))
+            pendings.append(pending)
+        handle.sent[1] = pendings[0]     # oldest: written to the pipe
+        handle.sent[2] = pendings[1]
+        handle.queue.append(pendings[2])  # newest: assigned, not sent
+        service._requeue_orphans(handle)
+        assert list(service._client_queues["c"]) == pendings
+        assert not handle.sent and not handle.queue
+        assert list(service._rr_order) == ["c"]
 
     @pytest.mark.parametrize("kwargs", [
         {"workers": 2, "min_workers": 3},            # min above workers
@@ -565,6 +619,42 @@ class TestServicePortfolio:
         assert result.is_sat
         assert winner in portfolio.member_names
         assert portfolio.win_counts()[winner] == 1
+
+    def test_pinned_family_reroutes_while_its_worker_races(
+            self, monkeypatch):
+        """Regression: a race borrowing a family's pinned worker must not
+        stall that family's maps — the pin falls through to a non-racing
+        worker, keeping map latency independent of race latency."""
+        race_gate = _gate()
+
+        def fake_race(conn, race_id, member_name, cnf, deadline,
+                      assumptions):
+            race_gate.wait()
+            conn.send(("race_result", race_id, member_name, None, None))
+
+        monkeypatch.setattr(service_mod, "_race_in_worker", fake_race)
+        with fake_service(monkeypatch, workers=2) as service:
+            try:
+                # Occupy worker 0 with a slow family-X solve; family Y
+                # then pins to worker 1, the only idle worker — which the
+                # race borrows next.
+                slow = service.submit(_req(0, delay=2.0))
+                service.submit(_req(1)).result(timeout=60)
+                outcomes = []
+                racer = threading.Thread(target=lambda: outcomes.append(
+                    service.race_cnf(_sat_cnf(), names=("fake",))))
+                racer.start()
+                assert _wait_until(lambda: service.stats()["races"] == 1)
+                # Family Y's next map must complete while its pinned
+                # worker is still racing (re-routed behind the slow map
+                # on worker 0), not stall until the race gate opens.
+                again = service.submit(_req(1))
+                assert again.result(timeout=30).outcome == "success"
+            finally:
+                race_gate.set()
+            racer.join(timeout=30)
+            slow.result(timeout=60)
+            assert outcomes and outcomes[0] is not None
 
     def test_maps_are_served_after_a_race_on_the_same_pool(self):
         with SolverService(SessionSpec(), workers=1) as service:
